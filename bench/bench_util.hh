@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches. Every bench binary
+ * regenerates one table or figure of the paper's evaluation section
+ * and prints the same rows/series the paper reports.
+ *
+ * All benches accept an optional first argument scaling the workload
+ * (default chosen so the whole bench suite finishes in minutes).
+ */
+
+#ifndef FSOI_BENCH_BENCH_UTIL_HH
+#define FSOI_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workload/apps.hh"
+
+namespace fsoi::bench {
+
+/** Workload scale from argv[1] (fraction of the full budget). */
+inline double
+scaleArg(int argc, char **argv, double dflt)
+{
+    if (argc > 1) {
+        const double s = std::atof(argv[1]);
+        if (s > 0.0)
+            return s;
+    }
+    return dflt;
+}
+
+/** Run one application on one system configuration. */
+inline sim::RunResult
+runConfig(const sim::SystemConfig &cfg, const workload::AppProfile &app,
+          double scale, sim::System **out_sys = nullptr)
+{
+    static std::unique_ptr<sim::System> keeper;
+    auto sys = std::make_unique<sim::System>(cfg);
+    sys->loadApp(app.scaled(scale));
+    auto res = sys->run();
+    if (out_sys) {
+        keeper = std::move(sys);
+        *out_sys = keeper.get();
+    }
+    return res;
+}
+
+/** Paper config for (cores, kind) with a chosen seed. */
+inline sim::SystemConfig
+paperConfig(int cores, sim::NetKind kind, std::uint64_t seed = 1)
+{
+    auto cfg = sim::SystemConfig::paperConfig(cores, kind);
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Short names of the applications, in the paper's figure order. */
+inline std::vector<workload::AppProfile>
+apps()
+{
+    return workload::paperApps();
+}
+
+inline void
+banner(const char *id, const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, what);
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace fsoi::bench
+
+#endif // FSOI_BENCH_BENCH_UTIL_HH

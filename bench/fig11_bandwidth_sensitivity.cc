@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Figure 11: relative performance of the FSOI and mesh
+ * systems as the interconnect bandwidth is progressively reduced to
+ * half (FSOI: fewer VCSELs per lane / longer slots; mesh: narrower
+ * links / more flits per packet). Each curve is normalized to its own
+ * full-bandwidth configuration.
+ *
+ * Paper: both networks degrade noticeably, FSOI no more than the mesh
+ * -- accepting collisions does not demand extra over-provisioning.
+ */
+
+#include <cstdio>
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleArg(argc, argv, 0.2);
+    bench::banner("Figure 11", "performance vs relative bandwidth");
+
+    // A representative subset keeps the sweep fast; override the scale
+    // argument for full-suite runs.
+    const char *subset[] = {"barnes", "fft", "ocean", "raytrace",
+                            "em3d", "mp3d"};
+    const double levels[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+
+    TextTable table({"bandwidth", "FSOI", "mesh"});
+    double fsoi_full = 0, mesh_full = 0;
+    for (double bw : levels) {
+        double fsoi_cycles = 0, mesh_cycles = 0;
+        for (const char *name : subset) {
+            const auto app = workload::appByName(name);
+            auto fcfg = bench::paperConfig(16, sim::NetKind::Fsoi);
+            fcfg.fsoi.bandwidth_scale = bw;
+            auto mcfg = bench::paperConfig(16, sim::NetKind::Mesh);
+            mcfg.mesh.bandwidth_scale = bw;
+            fsoi_cycles += static_cast<double>(
+                bench::runConfig(fcfg, app, scale).cycles);
+            mesh_cycles += static_cast<double>(
+                bench::runConfig(mcfg, app, scale).cycles);
+        }
+        if (bw == 1.0) {
+            fsoi_full = fsoi_cycles;
+            mesh_full = mesh_cycles;
+        }
+        table.addRow({TextTable::pct(bw, 0),
+                      TextTable::pct(fsoi_full / fsoi_cycles, 1),
+                      TextTable::pct(mesh_full / mesh_cycles, 1)});
+    }
+    table.print(std::cout);
+    std::printf("\n(each column normalized to its own full-bandwidth "
+                "configuration; paper: both fall off, FSOI no faster "
+                "than mesh)\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Regenerates Figure 3: collision probability (normalized to the
+ * packet transmission probability) as a function of transmission
+ * probability p and receivers per node R, for N = 16.
+ *
+ * Three sources, as in the paper: the closed form, a Monte Carlo of
+ * the slotted process, and "experimental" points measured on the full
+ * FSOI network driven at matched load (meta and data lanes separated).
+ *
+ * Also prints the Section 4.3.1 bandwidth-allocation curve whose
+ * optimum (B_M ~= 0.285) motivated the 3/6 VCSEL lane split.
+ */
+
+#include <cstdio>
+
+#include "analytic/bandwidth_alloc.hh"
+#include "analytic/collision_model.hh"
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "fsoi/fsoi_network.hh"
+
+using namespace fsoi;
+
+namespace {
+
+/** Drive the real FSOI network at per-slot probability p, measure. */
+double
+measuredCollisionRate(double p, noc::PacketClass cls, std::uint64_t seed)
+{
+    noc::MeshLayout layout(16, 4);
+    ::fsoi::fsoi::FsoiConfig cfg;
+    cfg.seed = seed;
+    ::fsoi::fsoi::FsoiNetwork net(layout, cfg);
+    for (NodeId n = 0; n < 20; ++n)
+        net.setHandler(n, [](noc::Packet &) {});
+    Rng rng(seed * 3 + 1);
+    const int slot = net.slotCycles(cls);
+
+    Cycle t = 0;
+    for (; t < 120000; ++t) {
+        net.tick(t);
+        if (t % slot != 0)
+            continue;
+        for (NodeId n = 0; n < 16; ++n) {
+            if (!rng.nextBool(p))
+                continue;
+            NodeId dst = rng.nextBelow(15);
+            if (dst >= n)
+                ++dst;
+            if (net.canAccept(n, cls))
+                net.send(noc::makePacket(n, dst, cls,
+                                         cls == noc::PacketClass::Meta
+                                             ? noc::PacketKind::Request
+                                             : noc::PacketKind::Reply));
+        }
+    }
+    while (!net.idle())
+        net.tick(t++);
+    // Per-node per-slot collision probability, normalized by p as in
+    // the figure: use collisions per attempt as the per-packet view.
+    return net.stats().collisionRate(cls);
+}
+
+double
+packetTheory(double p, int receivers)
+{
+    // Per-packet collision probability: another sender sharing my
+    // receiver picks my destination in my slot.
+    const double q = p / 15.0;
+    const double others = 15.0 / receivers - 1.0;
+    return 1.0 - std::pow(1.0 - q, others);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 3",
+                  "collision probability vs transmission probability");
+
+    std::printf("Normalized node collision probability Pc/p (theory, "
+                "N=16):\n\n");
+    TextTable theory({"p", "R=1", "R=2", "R=3", "R=4", "MC(R=2)"});
+    const double ps[] = {0.33, 0.25, 0.20, 0.15, 0.10,
+                         0.07, 0.05, 0.04, 0.03, 0.02, 0.01};
+    for (double p : ps) {
+        std::vector<std::string> row{TextTable::pct(p, 0)};
+        for (int r = 1; r <= 4; ++r)
+            row.push_back(TextTable::pct(
+                analytic::normalizedCollisionProbability(16, p, r), 1));
+        const auto mc = analytic::simulateCollisions(16, p, 2, 30000, 42);
+        row.push_back(TextTable::pct(mc.node_collision_prob / p, 1));
+        theory.addRow(row);
+    }
+    theory.print(std::cout);
+
+    std::printf("\nExperimental points on the full FSOI network "
+                "(per-packet collision rate vs first-order theory):\n\n");
+    TextTable exp({"p", "meta lane", "data lane", "theory(R=2)"});
+    for (double p : {0.02, 0.05, 0.10, 0.15}) {
+        exp.addRow({TextTable::pct(p, 0),
+                    TextTable::pct(measuredCollisionRate(
+                        p, noc::PacketClass::Meta, 7), 2),
+                    TextTable::pct(measuredCollisionRate(
+                        p, noc::PacketClass::Data, 9), 2),
+                    TextTable::pct(packetTheory(p, 2), 2)});
+    }
+    exp.print(std::cout);
+
+    std::printf("\nSection 4.3.1 bandwidth allocation: expected latency "
+                "vs meta share B_M\n\n");
+    const auto constants = analytic::paperConstants();
+    TextTable alloc({"B_M", "latency (a.u.)"});
+    for (double m : {0.1, 0.2, 0.25, 0.285, 0.3, 0.4, 0.5, 0.7})
+        alloc.addRow({TextTable::num(m, 3),
+                      TextTable::num(analytic::expectedLatency(constants,
+                                                               m), 2)});
+    alloc.print(std::cout);
+    std::printf("\noptimal B_M = %.3f (paper: 0.285 -> 3 meta / 6 data "
+                "VCSELs)\n",
+                analytic::optimalMetaShare(constants));
+    return 0;
+}

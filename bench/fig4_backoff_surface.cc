@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Figure 4: average collision-resolution delay for meta
+ * packets as a function of the starting window W and back-off base B,
+ * for background transmission rates G = 1% and G = 10%, plus the
+ * pathological 64-node case discussed in Section 4.3.2.
+ */
+
+#include <cstdio>
+
+#include "analytic/backoff_model.hh"
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+using analytic::BackoffParams;
+using analytic::simulateBackoff;
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "collision resolution delay vs (W, B) surface");
+
+    const double ws[] = {1.0, 1.5, 2.0, 2.7, 3.0, 4.0, 5.0};
+    const double bs[] = {1.0, 1.1, 1.25, 1.5, 1.75, 2.0};
+
+    for (double g : {0.01, 0.10}) {
+        std::printf("G = %.0f%% background transmission rate "
+                    "(mean delay, cycles):\n\n", g * 100);
+        std::vector<std::string> header{"W \\ B"};
+        for (double b : bs)
+            header.push_back(TextTable::num(b, 2));
+        TextTable table(header);
+        double best = 1e9, best_w = 0, best_b = 0;
+        for (double w : ws) {
+            std::vector<std::string> row{TextTable::num(w, 1)};
+            for (double b : bs) {
+                BackoffParams params;
+                params.window = w;
+                params.base = b;
+                params.background_rate = g;
+                const auto res = simulateBackoff(params, 30000, 11);
+                row.push_back(TextTable::num(res.mean_delay_cycles, 2));
+                if (res.mean_delay_cycles < best) {
+                    best = res.mean_delay_cycles;
+                    best_w = w;
+                    best_b = b;
+                }
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        BackoffParams paper;
+        paper.background_rate = g;
+        const auto at_paper = simulateBackoff(paper, 30000, 11);
+        std::printf("\n  minimum %.2f cycles at (W=%.1f, B=%.2f); "
+                    "paper point (W=2.7, B=1.1) = %.2f cycles "
+                    "(paper: computed 7.26, simulated ~7.4)\n\n",
+                    best, best_w, best_b, at_paper.mean_delay_cycles);
+    }
+
+    std::printf("Pathological case: 63 simultaneous senders to one node "
+                "(64-node system)\n\n");
+    TextTable path({"policy", "mean retries", "mean delay (cycles)"});
+    for (auto [label, base, window] :
+         {std::tuple<const char *, double, double>{"W=2.7, B=1.1", 1.1,
+                                                   2.7},
+          {"W=2.7, B=2.0", 2.0, 2.7},
+          {"fixed W=3 (B=1)", 1.0, 3.0}}) {
+        BackoffParams params;
+        params.window = window;
+        params.base = base;
+        params.background_rate = 0.0;
+        params.initial_contenders = 63;
+        params.max_retries = base > 1.0 ? 10000 : 60;
+        const auto res = simulateBackoff(params, 20, 17);
+        std::printf("  %-18s retries %.1f%s delay %.0f cycles\n", label,
+                    res.mean_retries,
+                    base > 1.0 ? "," : " (capped; paper: 8.2e10),",
+                    res.mean_delay_cycles);
+    }
+    std::printf("\n(paper: B=1.1 -> ~26 retries / 416 cycles; B=2 -> ~5 "
+                "retries / 199 cycles; fixed window never converges)\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Figure 8: total energy of the 16-node FSOI system
+ * relative to the mesh baseline, broken into network, processor
+ * core + cache (dynamic), and leakage. The paper reports ~20x lower
+ * interconnect energy, ~40.6% average total-energy savings, and a 22%
+ * average power reduction (156 W -> 121 W).
+ */
+
+#include <cstdio>
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleArg(argc, argv, 0.25);
+    bench::banner("Figure 8", "energy relative to the mesh baseline");
+
+    TextTable table({"app", "net", "core+cache", "leak", "total",
+                     "P_mesh(W)", "P_fsoi(W)"});
+    double total_ratio = 0.0, net_ratio = 0.0;
+    double p_mesh = 0.0, p_fsoi = 0.0;
+    int n = 0;
+
+    for (const auto &app : bench::apps()) {
+        const auto mesh = bench::runConfig(
+            bench::paperConfig(16, sim::NetKind::Mesh), app, scale);
+        const auto fso = bench::runConfig(
+            bench::paperConfig(16, sim::NetKind::Fsoi), app, scale);
+
+        const double base = mesh.energy.total();
+        const double net = fso.energy.network_j / base;
+        const double core = (fso.energy.core_j + fso.energy.cache_j
+                             + fso.energy.memory_j) / base;
+        const double leak = fso.energy.leakage_j / base;
+        table.addRow({app.name, TextTable::pct(net, 1),
+                      TextTable::pct(core, 1), TextTable::pct(leak, 1),
+                      TextTable::pct(net + core + leak, 1),
+                      TextTable::num(mesh.avg_power_w, 1),
+                      TextTable::num(fso.avg_power_w, 1)});
+        total_ratio += net + core + leak;
+        net_ratio += fso.energy.network_j / mesh.energy.network_j;
+        p_mesh += mesh.avg_power_w;
+        p_fsoi += fso.avg_power_w;
+        ++n;
+    }
+    table.print(std::cout);
+    std::printf("\naverage FSOI energy = %.1f%% of mesh baseline "
+                "(paper: 59.4%%, i.e. 40.6%% savings)\n",
+                100.0 * total_ratio / n);
+    std::printf("average interconnect energy ratio = %.1fx lower "
+                "(paper: ~20x)\n", n / net_ratio);
+    std::printf("average power: mesh %.0f W -> FSOI %.0f W "
+                "(paper: 156 W -> 121 W)\n", p_mesh / n, p_fsoi / n);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Figure 9: change in meta-lane packet transmission
+ * probability and collision rate when the confirmation signal
+ * substitutes invalidation acknowledgments (and carries ll/sc
+ * booleans), Section 5.1.
+ *
+ * The paper's observations: traffic drops only ~5%, but meta
+ * collisions drop ~31.5%, because the eliminated acknowledgments were
+ * quasi-synchronized (bursts answering an invalidation storm) and
+ * collided far more than independent-arrival theory predicts. With
+ * the optimization, the measured points move close to the theoretical
+ * curve.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/collision_model.hh"
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+
+namespace {
+
+double
+packetTheory(double p)
+{
+    const double q = p / 15.0;
+    const double others = 15.0 / 2.0 - 1.0;
+    return 1.0 - std::pow(1.0 - q, others);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleArg(argc, argv, 0.25);
+    bench::banner("Figure 9",
+                  "meta collisions with/without confirmation-as-ack");
+
+    TextTable table({"app", "p_base", "coll_base", "p_opt", "coll_opt",
+                     "theory@p_opt"});
+    double coll_base_sum = 0, coll_opt_sum = 0;
+    double pkts_base = 0, pkts_opt = 0;
+    int n = 0;
+
+    for (const auto &app : bench::apps()) {
+        auto base_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
+        base_cfg.opt_confirmation_ack = false;
+        base_cfg.opt_sync_subscription = false;
+        base_cfg.opt_data_collision = false;
+        auto opt_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
+        opt_cfg.opt_data_collision = false; // isolate Section 5.1
+
+        const auto base = bench::runConfig(base_cfg, app, scale);
+        const auto opt = bench::runConfig(opt_cfg, app, scale);
+
+        table.addRow({app.name,
+                      TextTable::pct(base.meta_tx_probability, 2),
+                      TextTable::pct(base.meta_collision_rate, 2),
+                      TextTable::pct(opt.meta_tx_probability, 2),
+                      TextTable::pct(opt.meta_collision_rate, 2),
+                      TextTable::pct(packetTheory(
+                          opt.meta_tx_probability), 2)});
+        coll_base_sum += base.meta_collision_rate;
+        coll_opt_sum += opt.meta_collision_rate;
+        pkts_base += static_cast<double>(base.packets_delivered);
+        pkts_opt += static_cast<double>(opt.packets_delivered);
+        ++n;
+    }
+    table.print(std::cout);
+    std::printf("\ntraffic reduction: %.1f%% of packets eliminated "
+                "(paper: ~5.1%%)\n",
+                100.0 * (1.0 - pkts_opt / pkts_base));
+    if (coll_base_sum > 0)
+        std::printf("meta collision rate reduction: %.1f%% "
+                    "(paper: ~31.5%% of meta collisions eliminated)\n",
+                    100.0 * (1.0 - coll_opt_sum / coll_base_sum));
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: cycles of
+ * simulated interconnect per second of host time, for the mesh router
+ * pipeline and the FSOI slot engine, and the analytic models. Useful
+ * to catch performance regressions in the simulator core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analytic/backoff_model.hh"
+#include "analytic/collision_model.hh"
+#include "common/rng.hh"
+#include "fsoi/fsoi_network.hh"
+#include "noc/mesh_network.hh"
+
+using namespace fsoi;
+
+namespace {
+
+template <typename Net>
+void
+driveNetwork(benchmark::State &state, Net &net, double load)
+{
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numEndpoints()); ++n)
+        net.setHandler(n, [](noc::Packet &) {});
+    Rng rng(7);
+    Cycle t = 0;
+    for (auto _ : state) {
+        net.tick(t);
+        for (NodeId n = 0; n < 16; ++n) {
+            if (!rng.nextBool(load))
+                continue;
+            NodeId dst = rng.nextBelow(15);
+            if (dst >= n)
+                ++dst;
+            if (net.canAccept(n, noc::PacketClass::Meta))
+                net.send(noc::makePacket(n, dst, noc::PacketClass::Meta,
+                                         noc::PacketKind::Request));
+        }
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_MeshTick(benchmark::State &state)
+{
+    noc::MeshLayout layout(16, 4);
+    noc::MeshNetwork net(layout, noc::MeshConfig{});
+    driveNetwork(state, net, 0.02);
+}
+BENCHMARK(BM_MeshTick);
+
+void
+BM_FsoiTick(benchmark::State &state)
+{
+    noc::MeshLayout layout(16, 4);
+    ::fsoi::fsoi::FsoiNetwork net(layout, ::fsoi::fsoi::FsoiConfig{});
+    driveNetwork(state, net, 0.02);
+}
+BENCHMARK(BM_FsoiTick);
+
+void
+BM_CollisionClosedForm(benchmark::State &state)
+{
+    double p = 0.01;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analytic::collisionProbability(16, p, 2));
+        p = p < 0.3 ? p + 0.001 : 0.01;
+    }
+}
+BENCHMARK(BM_CollisionClosedForm);
+
+void
+BM_BackoffEpisode(benchmark::State &state)
+{
+    analytic::BackoffParams params;
+    std::uint64_t seed = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            analytic::simulateBackoff(params, 1, seed++));
+}
+BENCHMARK(BM_BackoffEpisode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Table 1: optical link parameters of the single-bit FSOI
+ * link of Figure 2 (2 cm diagonal hop, 980 nm, 40 Gbps), computed from
+ * the device models rather than copied.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "photonics/link_budget.hh"
+#include "photonics/units.hh"
+
+using namespace fsoi;
+using namespace ::fsoi::photonics;
+
+int
+main()
+{
+    bench::banner("Table 1", "optical link parameters (computed)");
+
+    OpticalLink optical;
+    const LinkReport r = optical.evaluate();
+
+    std::printf("Free-Space Optics\n");
+    std::printf("  Trans. distance        %.1f cm      (paper: 2 cm)\n",
+                r.distance_m * 100);
+    std::printf("  Optical wavelength     %.0f nm      (paper: 980 nm)\n",
+                r.wavelength_m * 1e9);
+    std::printf("  Optical path loss      %.2f dB     (paper: 2.6 dB)\n",
+                r.path_loss_db);
+    std::printf("  Propagation delay      %.1f ps     (sub-cycle at "
+                "3.3 GHz)\n",
+                r.propagation_delay_s * 1e12);
+    std::printf("  Microlens aperture     %.0f um tx / %.0f um rx\n",
+                optical.path().params().tx_aperture_m * 1e6,
+                optical.path().params().rx_aperture_m * 1e6);
+
+    std::printf("\nTransmitter & Receiver\n");
+    std::printf("  VCSEL aperture         %.0f um, threshold %.2f mA, "
+                "parasitics %.0f ohm / %.0f fF\n",
+                optical.vcsel().params().aperture_m * 1e6,
+                optical.vcsel().params().threshold_a * 1e3,
+                optical.vcsel().params().parasitic_r_ohm,
+                optical.vcsel().params().parasitic_c_f * 1e15);
+    std::printf("  Extinction ratio       %.0f:1      (paper: 11:1)\n",
+                optical.linkParams().extinction_ratio);
+    std::printf("  PD responsivity        %.2f A/W, capacitance %.0f fF\n",
+                optical.photodetector().params().responsivity_a_per_w,
+                optical.photodetector().params().capacitance_f * 1e15);
+    std::printf("  TIA + limiting amp     bandwidth %.0f GHz, gain "
+                "%.0f V/A\n",
+                optical.tia().params().bandwidth_hz / 1e9,
+                optical.tia().params().gain_v_per_a);
+
+    std::printf("\nLink\n");
+    std::printf("  Data rate              %.0f Gbps    (paper: 40 Gbps)\n",
+                optical.linkParams().data_rate_bps / 1e9);
+    std::printf("  Signal-to-noise ratio  %.1f dB     (paper: 7.5 dB)\n",
+                r.snr_db);
+    std::printf("  Bit-error-rate (BER)   %.1e  (paper: 1e-10)\n",
+                r.bit_error_rate);
+    std::printf("  Cycle-to-cycle jitter  %.1f ps     (paper: 1.7 ps)\n",
+                r.jitter_rms_s * 1e12);
+    std::printf("  Q factor               %.2f\n", r.q_factor);
+    std::printf("  Received swing         %.1f uA -> %.0f mV after TIA\n",
+                r.photocurrent_swing_a * 1e6, r.output_swing_v * 1e3);
+
+    std::printf("\nPower Consumption\n");
+    std::printf("  Laser driver           %.1f mW     (paper: 6.3 mW)\n",
+                r.laser_driver_power_w * 1e3);
+    std::printf("  VCSEL                  %.2f mW    (paper: 0.96 mW)\n",
+                r.vcsel_power_w * 1e3);
+    std::printf("  Transmitter (standby)  %.2f mW    (paper: 0.43 mW)\n",
+                r.tx_standby_power_w * 1e3);
+    std::printf("  Receiver               %.1f mW     (paper: 4.2 mW)\n",
+                r.receiver_power_w * 1e3);
+    std::printf("  Energy per bit         %.2f pJ\n",
+                r.energy_per_bit_j * 1e12);
+    return 0;
+}

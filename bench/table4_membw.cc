@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Table 4: speedups over the mesh baseline at the default
+ * 8.8 GB/s off-chip bandwidth versus a 6x higher 52.8 GB/s, for the
+ * 16-core and 64-core systems. A higher memory bandwidth removes an
+ * interconnect-independent bottleneck and widens every gap.
+ */
+
+#include <cstdio>
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+
+namespace {
+
+/** Mesh-baseline cycle counts per app, computed once per (cores, bw). */
+std::vector<double>
+meshBaseline(int cores, double gbps, double scale)
+{
+    std::vector<double> cycles;
+    for (const auto &app : bench::apps()) {
+        auto base = bench::paperConfig(cores, sim::NetKind::Mesh);
+        base.mem_gbytes_per_sec = gbps;
+        cycles.push_back(static_cast<double>(
+            bench::runConfig(base, app, scale).cycles));
+    }
+    return cycles;
+}
+
+double
+gmeanSpeedup(int cores, sim::NetKind kind, double gbps, double scale,
+             const std::vector<double> &mesh_cycles)
+{
+    std::vector<double> speedups;
+    std::size_t i = 0;
+    for (const auto &app : bench::apps()) {
+        auto cfg = bench::paperConfig(cores, kind);
+        cfg.mem_gbytes_per_sec = gbps;
+        const auto res = bench::runConfig(cfg, app, scale);
+        speedups.push_back(mesh_cycles[i++] / res.cycles);
+    }
+    return geometricMean(speedups);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale16 = bench::scaleArg(argc, argv, 0.15);
+    const double scale64 = scale16 / 3.0;
+    bench::banner("Table 4", "speedups vs off-chip memory bandwidth");
+
+    struct Row
+    {
+        const char *name;
+        sim::NetKind kind;
+    };
+    const Row rows[] = {{"FSOI", sim::NetKind::Fsoi},
+                        {"L0", sim::NetKind::L0},
+                        {"Lr1", sim::NetKind::Lr1},
+                        {"Lr2", sim::NetKind::Lr2}};
+
+    std::printf("16-core system (geometric-mean speedup over mesh):\n\n");
+    const auto base16_slow = meshBaseline(16, 8.8, scale16);
+    const auto base16_fast = meshBaseline(16, 52.8, scale16);
+    TextTable t16({"config", "8.8 GB/s", "52.8 GB/s"});
+    for (const auto &row : rows)
+        t16.addRow({row.name,
+                    TextTable::num(gmeanSpeedup(16, row.kind, 8.8,
+                                                scale16, base16_slow), 2),
+                    TextTable::num(gmeanSpeedup(16, row.kind, 52.8,
+                                                scale16, base16_fast),
+                                   2)});
+    t16.print(std::cout);
+    std::printf("(paper: FSOI 1.32 / 1.36, L0 1.37 / 1.43, Lr1 1.27 / "
+                "1.32, Lr2 1.18 / 1.22)\n\n");
+
+    std::printf("64-core system:\n\n");
+    const auto base64_slow = meshBaseline(64, 8.8, scale64);
+    const auto base64_fast = meshBaseline(64, 52.8, scale64);
+    TextTable t64({"config", "8.8 GB/s", "52.8 GB/s"});
+    for (const auto &row : rows)
+        t64.addRow({row.name,
+                    TextTable::num(gmeanSpeedup(64, row.kind, 8.8,
+                                                scale64, base64_slow), 2),
+                    TextTable::num(gmeanSpeedup(64, row.kind, 52.8,
+                                                scale64, base64_fast),
+                                   2)});
+    t64.print(std::cout);
+    std::printf("(paper: FSOI 1.61 / 1.75, L0 1.75 / 1.91, Lr1 1.41 / "
+                "1.55, Lr2 1.26 / 1.29)\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a 16-core CMP with the free-space optical
+ * interconnect, run one application, and compare against the
+ * conventional mesh baseline.
+ *
+ *   ./quickstart [app] [cores]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/system.hh"
+
+using namespace fsoi;
+
+namespace {
+
+sim::RunResult
+runOnce(int cores, sim::NetKind kind, const workload::AppProfile &app)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::paperConfig(cores, kind);
+    sim::System system(cfg);
+    system.loadApp(app);
+    return system.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "fft";
+    const int cores = argc > 2 ? std::atoi(argv[2]) : 16;
+
+    workload::AppProfile app = workload::appByName(app_name);
+    app = app.scaled(0.5); // quick demo run
+
+    std::printf("fsoi-sim quickstart: %d cores, app '%s'\n\n", cores,
+                app.name.c_str());
+
+    const auto mesh = runOnce(cores, sim::NetKind::Mesh, app);
+    const auto fsoi_run = runOnce(cores, sim::NetKind::Fsoi, app);
+
+    std::printf("%-28s %12s %12s\n", "", "mesh", "FSOI");
+    std::printf("%-28s %12llu %12llu\n", "execution cycles",
+                (unsigned long long)mesh.cycles,
+                (unsigned long long)fsoi_run.cycles);
+    std::printf("%-28s %12.2f %12.2f\n", "avg packet latency (cyc)",
+                mesh.avg_packet_latency, fsoi_run.avg_packet_latency);
+    std::printf("%-28s %12.2f %12.2f\n", "IPC (aggregate)", mesh.ipc,
+                fsoi_run.ipc);
+    std::printf("%-28s %12.1f %12.1f\n", "avg power (W)",
+                mesh.avg_power_w, fsoi_run.avg_power_w);
+    std::printf("%-28s %12.3f %12.3f\n", "network energy (J)",
+                mesh.energy.network_j, fsoi_run.energy.network_j);
+    std::printf("%-28s %12s %12.1f%%\n", "L1 miss rate", "",
+                100.0 * fsoi_run.l1_miss_rate);
+    std::printf("\nspeedup (mesh -> FSOI): %.2fx\n",
+                (double)mesh.cycles / (double)fsoi_run.cycles);
+    std::printf("FSOI meta collision rate: %.2f%%, data: %.2f%%\n",
+                100.0 * fsoi_run.meta_collision_rate,
+                100.0 * fsoi_run.data_collision_rate);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload explorer: characterize all sixteen application profiles on a
+ * chosen interconnect. Prints the quantities the paper's methodology
+ * section cares about -- L1 miss rate (target range 0.8-15.6%, average
+ * ~4.8% after the deliberate L1 scale-down), packet latency, per-slot
+ * transmission probability, and synchronization intensity.
+ *
+ *   ./workload_explorer [mesh|fsoi|l0|lr1|lr2] [scale]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/system.hh"
+
+using namespace fsoi;
+
+int
+main(int argc, char **argv)
+{
+    sim::NetKind kind = sim::NetKind::Fsoi;
+    if (argc > 1) {
+        const std::string arg = argv[1];
+        if (arg == "mesh")
+            kind = sim::NetKind::Mesh;
+        else if (arg == "l0")
+            kind = sim::NetKind::L0;
+        else if (arg == "lr1")
+            kind = sim::NetKind::Lr1;
+        else if (arg == "lr2")
+            kind = sim::NetKind::Lr2;
+        else if (arg != "fsoi")
+            fatal("unknown network '%s'", arg.c_str());
+    }
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    std::printf("workload explorer: 16 cores, %s interconnect, "
+                "scale %.2f\n\n", sim::netKindName(kind), scale);
+
+    TextTable table({"app", "cycles", "IPC", "missrate", "pktlat",
+                     "packets", "txprob", "locks", "barriers",
+                     "invals"});
+    double miss_sum = 0.0;
+    int count = 0;
+    for (const auto &app : workload::paperApps()) {
+        sim::SystemConfig cfg = sim::SystemConfig::paperConfig(16, kind);
+        sim::System system(cfg);
+        system.loadApp(app.scaled(scale));
+        const auto res = system.run();
+
+        std::uint64_t locks = 0, barriers = 0;
+        for (int n = 0; n < cfg.num_cores; ++n) {
+            locks += system.core(n).stats().locks_acquired.value();
+            barriers += system.core(n).stats().barriers_passed.value();
+        }
+        table.addRow({app.name,
+                      std::to_string(res.cycles),
+                      TextTable::num(res.ipc, 2),
+                      TextTable::pct(res.l1_miss_rate),
+                      TextTable::num(res.avg_packet_latency, 1),
+                      std::to_string(res.packets_delivered),
+                      TextTable::pct(res.meta_tx_probability),
+                      std::to_string(locks),
+                      std::to_string(barriers),
+                      std::to_string(res.invalidations)});
+        miss_sum += res.l1_miss_rate;
+        ++count;
+    }
+    table.print(std::cout);
+    std::printf("\naverage L1 miss rate: %.1f%% (paper: 4.8%%)\n",
+                100.0 * miss_sum / count);
+    return 0;
+}

@@ -1,0 +1,142 @@
+#include "analytic/backoff_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fsoi::analytic {
+
+namespace {
+
+/** Retry window (slots) for the r-th retry (r starting at 1). */
+std::uint64_t
+windowSlots(const BackoffParams &p, int retry)
+{
+    const double w = p.window * std::pow(p.base, retry - 1);
+    return static_cast<std::uint64_t>(std::max(1.0, std::ceil(w)));
+}
+
+} // namespace
+
+BackoffResult
+simulateBackoff(const BackoffParams &params, std::uint64_t episodes,
+                std::uint64_t seed)
+{
+    FSOI_ASSERT(params.window >= 1.0);
+    FSOI_ASSERT(params.base >= 1.0);
+    FSOI_ASSERT(params.initial_contenders >= 1);
+    FSOI_ASSERT(episodes > 0);
+
+    Rng rng(seed);
+    // Cycles between a slot ending and the sender knowing the outcome,
+    // expressed in whole slots (rounded up) before the retry window.
+    const std::uint64_t conf_slots = (params.confirmation_delay
+        + params.slot_cycles - 1) / params.slot_cycles;
+
+    double delay_sum = 0.0;
+    double retries_sum = 0.0;
+    double max_delay = 0.0;
+    std::uint64_t resolved = 0;
+
+    struct Contender
+    {
+        std::uint64_t next_slot;
+        int retries;
+        bool done;
+    };
+
+    std::vector<Contender> cont(params.initial_contenders);
+    for (std::uint64_t e = 0; e < episodes; ++e) {
+        for (auto &c : cont) {
+            c.retries = 1;
+            c.next_slot = conf_slots + rng.nextRange(1, windowSlots(params, 1));
+            c.done = false;
+        }
+        int active = params.initial_contenders;
+        while (active > 0) {
+            // Earliest pending retry slot.
+            std::uint64_t t = ~0ULL;
+            for (const auto &c : cont)
+                if (!c.done)
+                    t = std::min(t, c.next_slot);
+            int in_slot = 0;
+            for (const auto &c : cont)
+                if (!c.done && c.next_slot == t)
+                    ++in_slot;
+            const bool background = rng.nextBool(params.background_rate);
+            if (in_slot == 1 && !background) {
+                for (auto &c : cont) {
+                    if (!c.done && c.next_slot == t) {
+                        c.done = true;
+                        // Delay from collision detection to the start
+                        // of the successful retransmission (the
+                        // success confirmation overlaps useful work
+                        // and is not charged).
+                        const double delay = static_cast<double>(t)
+                            * params.slot_cycles;
+                        delay_sum += delay;
+                        retries_sum += c.retries;
+                        max_delay = std::max(max_delay, delay);
+                        ++resolved;
+                    }
+                }
+                --active;
+            } else {
+                for (auto &c : cont) {
+                    if (c.done || c.next_slot != t)
+                        continue;
+                    if (c.retries >= params.max_retries) {
+                        // Safety: count as resolved at the bound.
+                        c.done = true;
+                        const double delay = static_cast<double>(t)
+                            * params.slot_cycles;
+                        delay_sum += delay;
+                        retries_sum += c.retries;
+                        max_delay = std::max(max_delay, delay);
+                        ++resolved;
+                        --active;
+                        continue;
+                    }
+                    ++c.retries;
+                    c.next_slot = t + conf_slots
+                        + rng.nextRange(1, windowSlots(params, c.retries));
+                }
+            }
+        }
+    }
+
+    BackoffResult res{};
+    res.mean_delay_cycles = delay_sum / static_cast<double>(resolved);
+    res.mean_retries = retries_sum / static_cast<double>(resolved);
+    res.max_delay_cycles = max_delay;
+    return res;
+}
+
+double
+approxResolutionDelay(const BackoffParams &params)
+{
+    FSOI_ASSERT(params.initial_contenders == 2,
+                "closed form assumes a two-party collision");
+    // E_r = wait_r + conf + P(fail at retry r) * E_{r+1}, truncated.
+    const int depth = 64;
+    const double conf_slots = std::ceil(
+        static_cast<double>(params.confirmation_delay)
+        / params.slot_cycles);
+    double e_next = 0.0;
+    for (int r = depth; r >= 1; --r) {
+        const double w = static_cast<double>(windowSlots(params, r));
+        const double wait_cycles =
+            (conf_slots + (w + 1.0) / 2.0) * params.slot_cycles;
+        // The other contender picks the same slot with probability 1/w
+        // (same-window approximation); a background packet adds G.
+        double p_fail = 1.0 / w + params.background_rate;
+        p_fail = std::min(p_fail, 0.99);
+        e_next = wait_cycles + p_fail * e_next;
+    }
+    return e_next;
+}
+
+} // namespace fsoi::analytic

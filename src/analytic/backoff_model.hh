@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exponential-backoff collision-resolution model (Section 4.3.2,
+ * Figure 4).
+ *
+ * After a collision is detected, each involved sender retries in a slot
+ * drawn uniformly from a window of ceil(W * B^(r-1)) slots on its r-th
+ * retry. While retries are pending, uninvolved nodes keep transmitting at
+ * a background rate G per slot, which can add new contenders.
+ *
+ * The paper's operating point is W = 2.7, B = 1.1 with a confirmation
+ * delay of 2 cycles; the meta-lane slot is 2 processor cycles.
+ */
+
+#ifndef FSOI_ANALYTIC_BACKOFF_MODEL_HH
+#define FSOI_ANALYTIC_BACKOFF_MODEL_HH
+
+#include <cstdint>
+
+namespace fsoi::analytic {
+
+/** Parameters of the backoff game. */
+struct BackoffParams
+{
+    double window = 2.7;          //!< W, starting window in slots
+    double base = 1.1;            //!< B, window growth base per retry
+    double background_rate = 0.01; //!< G, per-node new-packet prob per slot
+    int initial_contenders = 2;   //!< packets in the initial collision
+    int slot_cycles = 2;          //!< processor cycles per (meta) slot
+    int confirmation_delay = 2;   //!< cycles until collision is known
+    int max_retries = 10000;      //!< safety bound for the simulation
+};
+
+/** Outcome of resolving one collision episode. */
+struct BackoffResult
+{
+    double mean_delay_cycles;  //!< mean extra delay until success
+    double mean_retries;       //!< mean number of retransmissions
+    double max_delay_cycles;   //!< worst episode observed
+};
+
+/**
+ * Monte Carlo estimate of the collision-resolution delay: the expected
+ * extra cycles between a packet's first (collided) transmission and its
+ * eventual successful transmission, averaged over the initial
+ * contenders, over @p episodes episodes.
+ */
+BackoffResult simulateBackoff(const BackoffParams &params,
+                              std::uint64_t episodes,
+                              std::uint64_t seed = 1);
+
+/**
+ * Fast analytic approximation of the same quantity for a two-party
+ * collision: a retry succeeds unless the other contender picks the same
+ * slot (prob 1/max(W_r,1) while it is still unresolved) or a background
+ * packet lands on it (prob ~ G). Used for the Figure 4 surface where
+ * Monte Carlo at every (W, B) grid point would be slow.
+ */
+double approxResolutionDelay(const BackoffParams &params);
+
+} // namespace fsoi::analytic
+
+#endif // FSOI_ANALYTIC_BACKOFF_MODEL_HH

@@ -1,0 +1,56 @@
+#include "analytic/bandwidth_alloc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fsoi::analytic {
+
+AllocationConstants
+paperConstants()
+{
+    // c3/c1 ~ 9: data packets are 5x longer and carry the cache lines on
+    // the critical path of misses; quadratic (collision) terms are small
+    // at the operating collision rates (~1e-2). Calibrated so the
+    // stationary point of expectedLatency sits at 0.285.
+    return AllocationConstants{1.0, 0.08, 8.984, 0.3};
+}
+
+double
+expectedLatency(const AllocationConstants &c, double meta_share)
+{
+    FSOI_ASSERT(meta_share > 0.0 && meta_share < 1.0);
+    const double m = meta_share;
+    const double d = 1.0 - meta_share;
+    return c.c1 / m + c.c2 / (m * m) + c.c3 / d + c.c4 / (d * d);
+}
+
+double
+optimalMetaShare(const AllocationConstants &c)
+{
+    // Golden-section search on the strictly convex latency function.
+    constexpr double phi = 0.6180339887498949;
+    double lo = 1e-4, hi = 1.0 - 1e-4;
+    double x1 = hi - phi * (hi - lo);
+    double x2 = lo + phi * (hi - lo);
+    double f1 = expectedLatency(c, x1);
+    double f2 = expectedLatency(c, x2);
+    for (int i = 0; i < 200; ++i) {
+        if (f1 < f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - phi * (hi - lo);
+            f1 = expectedLatency(c, x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + phi * (hi - lo);
+            f2 = expectedLatency(c, x2);
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace fsoi::analytic

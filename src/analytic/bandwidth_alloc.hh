@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bandwidth-allocation latency model (Section 4.3.1, item 3).
+ *
+ * With a fixed total transmitting bandwidth split between the meta lane
+ * (share B_M) and the data lane (share 1 - B_M), the paper models the
+ * expected packet latency as
+ *
+ *   L(B_M) = C1/B_M + C2/B_M^2 + C3/(1-B_M) + C4/(1-B_M)^2
+ *
+ * where the linear terms capture serialization latency and the quadratic
+ * terms capture collision-resolution cost (both the collision probability
+ * and the resolution latency scale inversely with lane bandwidth). The
+ * constants depend on application statistics; the paper's workload mix
+ * puts the optimum at B_M ~= 0.285, matching the deployed 3-VCSEL meta /
+ * 6-VCSEL data split (with doubled receive bandwidth).
+ */
+
+#ifndef FSOI_ANALYTIC_BANDWIDTH_ALLOC_HH
+#define FSOI_ANALYTIC_BANDWIDTH_ALLOC_HH
+
+namespace fsoi::analytic {
+
+/** Workload-dependent constants of the latency expression. */
+struct AllocationConstants
+{
+    double c1; //!< meta serialization weight
+    double c2; //!< meta collision-resolution weight
+    double c3; //!< data serialization weight
+    double c4; //!< data collision-resolution weight
+};
+
+/**
+ * Constants calibrated to the paper's workload mix (meta packets are on
+ * the critical path of every transaction; data packets are ~5x longer):
+ * the resulting optimum is B_M ~= 0.285.
+ */
+AllocationConstants paperConstants();
+
+/** Evaluate the latency model at meta share @p meta_share in (0, 1). */
+double expectedLatency(const AllocationConstants &c, double meta_share);
+
+/** Locate the minimizing meta share by golden-section search. */
+double optimalMetaShare(const AllocationConstants &c);
+
+/**
+ * First-order expected latency of a packet: L + Pc * Lr (basic latency
+ * plus collision probability times resolution latency).
+ */
+inline double
+expectedPacketLatency(double base_latency, double collision_prob,
+                      double resolution_latency)
+{
+    return base_latency + collision_prob * resolution_latency;
+}
+
+} // namespace fsoi::analytic
+
+#endif // FSOI_ANALYTIC_BANDWIDTH_ALLOC_HH

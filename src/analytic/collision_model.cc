@@ -1,0 +1,100 @@
+#include "analytic/collision_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fsoi::analytic {
+
+double
+collisionProbability(int num_nodes, double transmit_prob,
+                     int receivers_per_node)
+{
+    FSOI_ASSERT(num_nodes > 2);
+    FSOI_ASSERT(transmit_prob >= 0.0 && transmit_prob <= 1.0);
+    FSOI_ASSERT(receivers_per_node >= 1);
+
+    const double n =
+        static_cast<double>(num_nodes - 1) / receivers_per_node;
+    const double q = transmit_prob / (num_nodes - 1);
+
+    // P(receiver idle or exactly one sender) per receiver, raised to the
+    // R receivers of the node.
+    const double none = std::pow(1.0 - q, n);
+    const double one = n * q * std::pow(1.0 - q, n - 1.0);
+    return 1.0 - std::pow(none + one, receivers_per_node);
+}
+
+double
+normalizedCollisionProbability(int num_nodes, double transmit_prob,
+                               int receivers_per_node)
+{
+    if (transmit_prob <= 0.0)
+        return 0.0;
+    return collisionProbability(num_nodes, transmit_prob,
+                                receivers_per_node) / transmit_prob;
+}
+
+MonteCarloResult
+simulateCollisions(int num_nodes, double transmit_prob,
+                   int receivers_per_node, std::uint64_t slots,
+                   std::uint64_t seed)
+{
+    FSOI_ASSERT(num_nodes > 2);
+    FSOI_ASSERT(receivers_per_node >= 1);
+    FSOI_ASSERT(slots > 0);
+
+    Rng rng(seed);
+    MonteCarloResult res{};
+    res.slots = slots;
+
+    const std::size_t num_rx =
+        static_cast<std::size_t>(num_nodes) * receivers_per_node;
+    std::vector<int> arrivals(num_rx);
+    std::vector<int> dst_rx_of(num_nodes); // flat receiver index or -1
+    std::uint64_t node_slot_collisions = 0;
+
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        std::fill(arrivals.begin(), arrivals.end(), 0);
+        for (int src = 0; src < num_nodes; ++src) {
+            dst_rx_of[src] = -1;
+            if (!rng.nextBool(transmit_prob))
+                continue;
+            int dst = static_cast<int>(rng.nextBelow(num_nodes - 1));
+            if (dst >= src)
+                ++dst; // exclude self
+            // Static sender partition: sender src is wired to receiver
+            // (src mod R) of every destination.
+            const int flat = dst * receivers_per_node
+                + (src % receivers_per_node);
+            dst_rx_of[src] = flat;
+            ++arrivals[flat];
+            res.packets += 1;
+        }
+        for (int src = 0; src < num_nodes; ++src) {
+            if (dst_rx_of[src] >= 0 && arrivals[dst_rx_of[src]] > 1)
+                res.collided += 1;
+        }
+        for (int d = 0; d < num_nodes; ++d) {
+            for (int r = 0; r < receivers_per_node; ++r) {
+                if (arrivals[static_cast<std::size_t>(d)
+                             * receivers_per_node + r] > 1) {
+                    ++node_slot_collisions;
+                    break; // count each node-slot at most once
+                }
+            }
+        }
+    }
+
+    res.node_collision_prob = static_cast<double>(node_slot_collisions)
+        / (static_cast<double>(slots) * num_nodes);
+    res.packet_collision_rate = res.packets
+        ? static_cast<double>(res.collided) / res.packets
+        : 0.0;
+    return res;
+}
+
+} // namespace fsoi::analytic

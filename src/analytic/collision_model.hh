@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Closed-form and Monte Carlo models of packet collisions on the
+ * unarbitrated FSOI receiver channels (Section 4.3.1, Figure 3).
+ *
+ * Model: in each slot every one of N nodes transmits with probability p
+ * to a uniformly random other node. Each node owns R receivers and the
+ * N-1 potential senders are divided evenly among them, so n = (N-1)/R
+ * senders share a receiver. A collision happens when two or more of a
+ * receiver's senders transmit to it in the same slot.
+ */
+
+#ifndef FSOI_ANALYTIC_COLLISION_MODEL_HH
+#define FSOI_ANALYTIC_COLLISION_MODEL_HH
+
+#include <cstdint>
+
+namespace fsoi::analytic {
+
+/**
+ * Probability that a given node experiences a collision in a slot
+ * (the paper's expression in Section 4.3.1):
+ *
+ *   1 - [ (1 - q)^n + n q (1 - q)^(n-1) ]^R,   q = p / (N - 1)
+ *
+ * @param num_nodes          N, total nodes (> 2)
+ * @param transmit_prob      p, per-node per-slot transmission probability
+ * @param receivers_per_node R, receivers per node (divides N-1 ideally)
+ */
+double collisionProbability(int num_nodes, double transmit_prob,
+                            int receivers_per_node);
+
+/**
+ * Figure 3's y-axis: collision probability normalized to the packet
+ * transmission probability, Pc / p.
+ */
+double normalizedCollisionProbability(int num_nodes, double transmit_prob,
+                                      int receivers_per_node);
+
+/** Result of a Monte Carlo slotted-transmission experiment. */
+struct MonteCarloResult
+{
+    std::uint64_t slots;          //!< slots simulated
+    std::uint64_t packets;        //!< packets transmitted
+    std::uint64_t collided;       //!< packets involved in a collision
+    double node_collision_prob;   //!< per-node per-slot collision prob.
+    double packet_collision_rate; //!< collided / packets
+};
+
+/**
+ * Monte Carlo validation of the closed form: simulate the slotted
+ * random-transmission process directly (no queueing, no retries).
+ *
+ * @param seed RNG stream seed for reproducibility
+ */
+MonteCarloResult simulateCollisions(int num_nodes, double transmit_prob,
+                                    int receivers_per_node,
+                                    std::uint64_t slots,
+                                    std::uint64_t seed = 1);
+
+} // namespace fsoi::analytic
+
+#endif // FSOI_ANALYTIC_COLLISION_MODEL_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Functional (value-carrying) memory image.
+ *
+ * The timing simulation tracks coherence metadata only; actual data
+ * values matter solely for synchronization (lock words, barrier
+ * counters, sense flags, ll/sc outcomes). This sparse word store holds
+ * those values; reads of untouched words return zero.
+ */
+
+#ifndef FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH
+#define FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fsoi::coherence {
+
+/** Sparse 64-bit word store shared by every core in a System. */
+class FunctionalMemory
+{
+  public:
+    std::uint64_t
+    read(Addr addr) const
+    {
+        const auto it = words_.find(addr);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        words_[addr] = value;
+    }
+
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace fsoi::coherence
+
+#endif // FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH

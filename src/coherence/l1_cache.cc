@@ -1,0 +1,648 @@
+#include "coherence/l1_cache.hh"
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace fsoi::coherence {
+
+const char *
+l1StateName(L1State state)
+{
+    switch (state) {
+      case L1State::I: return "I";
+      case L1State::S: return "S";
+      case L1State::E: return "E";
+      case L1State::M: return "M";
+    }
+    return "?";
+}
+
+L1Cache::L1Cache(NodeId node, const L1Config &config, Transport &transport,
+                 FunctionalMemory &memory,
+                 std::function<NodeId(Addr)> home_of)
+    : node_(node), config_(config), transport_(transport), memory_(memory),
+      homeOf_(std::move(home_of)), array_(config.geometry)
+{
+    FSOI_ASSERT(config_.num_mshrs >= 1 && config_.store_buffer >= 1);
+}
+
+L1State
+L1Cache::lineState(Addr addr) const
+{
+    const auto *line = array_.peek(addr);
+    return line ? line->meta.state : L1State::I;
+}
+
+void
+L1Cache::queueSend(NodeId dst, const Message &msg)
+{
+    outbox_.push_back(OutMsg{dst, msg});
+}
+
+void
+L1Cache::scheduleDone(Cycle due, Callback cb, std::uint64_t value,
+                      bool success)
+{
+    pendingDone_.push_back(PendingDone{due, std::move(cb), value, success});
+}
+
+void
+L1Cache::clearLinkIfCovers(Addr line)
+{
+    if (linkValid_ && linkLine_ == line)
+        linkValid_ = false;
+}
+
+void
+L1Cache::issueRequest(Addr line, Mshr &mshr)
+{
+    Message msg{};
+    msg.line = line;
+    msg.requester = node_;
+    switch (mshr.want) {
+      case Mshr::Want::Shared:
+        msg.type = MsgType::ReqSh;
+        break;
+      case Mshr::Want::Exclusive:
+        msg.type = MsgType::ReqEx;
+        break;
+      case Mshr::Want::Upgrade:
+        msg.type = MsgType::ReqUpg;
+        break;
+    }
+    queueSend(homeOf_(line), msg);
+    mshr.request_outstanding = true;
+    mshr.retry_at = kNoCycle;
+    if (mshr.created == 0)
+        mshr.created = now_;
+}
+
+bool
+L1Cache::load(Addr addr, Callback cb)
+{
+    const Addr line = array_.lineAddr(addr);
+
+    // Store-buffer forwarding (youngest matching entry wins).
+    for (auto it = storeBuffer_.rbegin(); it != storeBuffer_.rend(); ++it) {
+        if (it->addr == addr) {
+            stats_.loads++;
+            stats_.l1_accesses++;
+            stats_.load_hits++;
+            scheduleDone(now_ + config_.hit_latency, std::move(cb),
+                         it->value, true);
+            return true;
+        }
+    }
+
+    if (auto *ln = array_.find(addr); ln && ln->meta.state != L1State::I) {
+        stats_.loads++;
+        stats_.l1_accesses++;
+        stats_.load_hits++;
+        scheduleDone(now_ + config_.hit_latency, std::move(cb),
+                     memory_.read(addr), true);
+        return true;
+    }
+
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        stats_.loads++;
+        stats_.l1_accesses++;
+        it->second.loads.emplace_back(addr, std::move(cb));
+        return true;
+    }
+
+    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+        return false;
+
+    stats_.loads++;
+    stats_.l1_accesses++;
+    stats_.misses++;
+    Mshr &mshr = mshrs_[line];
+    mshr.want = Mshr::Want::Shared;
+    mshr.loads.emplace_back(addr, std::move(cb));
+    issueRequest(line, mshr);
+    return true;
+}
+
+bool
+L1Cache::loadLinked(Addr addr, Callback cb)
+{
+    const Addr line = array_.lineAddr(addr);
+
+    if (auto *ln = array_.find(addr); ln && ln->meta.state != L1State::I) {
+        stats_.loads++;
+        stats_.l1_accesses++;
+        stats_.load_hits++;
+        linkValid_ = true;
+        linkLine_ = line;
+        scheduleDone(now_ + config_.hit_latency, std::move(cb),
+                     memory_.read(addr), true);
+        return true;
+    }
+
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        stats_.loads++;
+        stats_.l1_accesses++;
+        it->second.is_ll = true;
+        it->second.loads.emplace_back(addr, std::move(cb));
+        return true;
+    }
+    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+        return false;
+
+    stats_.loads++;
+    stats_.l1_accesses++;
+    stats_.misses++;
+    Mshr &mshr = mshrs_[line];
+    mshr.want = Mshr::Want::Shared;
+    mshr.is_ll = true;
+    mshr.loads.emplace_back(addr, std::move(cb));
+    issueRequest(line, mshr);
+    return true;
+}
+
+bool
+L1Cache::store(Addr addr, std::uint64_t value)
+{
+    if (storeBuffer_.size() >= static_cast<std::size_t>(config_.store_buffer))
+        return false;
+    stats_.stores++;
+    storeBuffer_.push_back(StoreEntry{addr, value});
+    return true;
+}
+
+bool
+L1Cache::storeConditional(Addr addr, std::uint64_t value, Callback cb)
+{
+    const Addr line = array_.lineAddr(addr);
+    stats_.l1_accesses++;
+
+    if (!linkValid_ || linkLine_ != line) {
+        stats_.sc_failures++;
+        scheduleDone(now_ + 1, std::move(cb), 0, false);
+        return true;
+    }
+
+    auto *ln = array_.find(addr);
+    if (ln && (ln->meta.state == L1State::M
+               || ln->meta.state == L1State::E)) {
+        ln->meta.state = L1State::M;
+        memory_.write(addr, value);
+        stats_.store_hits++;
+        scheduleDone(now_ + config_.hit_latency, std::move(cb), value, true);
+        return true;
+    }
+    if (ln && ln->meta.state == L1State::S) {
+        auto it = mshrs_.find(line);
+        if (it == mshrs_.end()) {
+            if (mshrs_.size()
+                >= static_cast<std::size_t>(config_.num_mshrs))
+                return false;
+            Mshr &mshr = mshrs_[line];
+            mshr.want = Mshr::Want::Upgrade;
+            stats_.upgrades++;
+            mshr.is_sc = true;
+            mshr.sc_addr = addr;
+            mshr.sc_value = value;
+            mshr.sc_cb = std::move(cb);
+            issueRequest(line, mshr);
+        } else {
+            it->second.is_sc = true;
+            it->second.sc_addr = addr;
+            it->second.sc_value = value;
+            it->second.sc_cb = std::move(cb);
+        }
+        return true;
+    }
+    // Link register valid but line not readable: treat as failure.
+    stats_.sc_failures++;
+    linkValid_ = false;
+    scheduleDone(now_ + 1, std::move(cb), 0, false);
+    return true;
+}
+
+L1Cache::Line *
+L1Cache::makeRoom(Addr line)
+{
+    Line *slot = array_.victimIf(line, [this](const Line &candidate) {
+        return !lineBusy(candidate.tag);
+    });
+    if (!slot)
+        return nullptr;
+    if (slot->valid) {
+        if (slot->meta.state == L1State::M) {
+            Message wb{};
+            wb.type = MsgType::WriteBack;
+            wb.line = slot->tag;
+            wb.requester = node_;
+            queueSend(homeOf_(slot->tag), wb);
+            stats_.writebacks++;
+        }
+        clearLinkIfCovers(slot->tag);
+        array_.invalidate(slot);
+    }
+    return slot;
+}
+
+void
+L1Cache::performStoreHead()
+{
+    FSOI_ASSERT(!storeBuffer_.empty());
+    const StoreEntry entry = storeBuffer_.front();
+    storeBuffer_.pop_front();
+    memory_.write(entry.addr, entry.value);
+    stats_.store_hits++;
+}
+
+void
+L1Cache::finishMshr(Addr line, L1State granted)
+{
+    auto it = mshrs_.find(line);
+    FSOI_ASSERT(it != mshrs_.end());
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+    stats_.miss_latency.add(static_cast<double>(now_ - mshr.created));
+
+    auto *ln = array_.find(line);
+    FSOI_ASSERT(ln && ln->valid);
+    ln->meta.state = granted;
+
+    const bool writable =
+        granted == L1State::E || granted == L1State::M;
+
+    if (mshr.is_ll) {
+        linkValid_ = true;
+        linkLine_ = line;
+    }
+
+    if (mshr.store_pending && writable) {
+        // The store-buffer head triggered this miss; complete it now.
+        if (!storeBuffer_.empty()
+            && array_.lineAddr(storeBuffer_.front().addr) == line) {
+            performStoreHead();
+            ln->meta.state = L1State::M;
+        }
+    }
+
+    if (mshr.is_sc) {
+        if (writable && linkValid_ && linkLine_ == line) {
+            memory_.write(mshr.sc_addr, mshr.sc_value);
+            ln->meta.state = L1State::M;
+            scheduleDone(now_ + 1, std::move(mshr.sc_cb), mshr.sc_value,
+                         true);
+        } else {
+            stats_.sc_failures++;
+            scheduleDone(now_ + 1, std::move(mshr.sc_cb), 0, false);
+        }
+    }
+
+    for (auto &[addr, cb] : mshr.loads)
+        scheduleDone(now_ + 1, std::move(cb), memory_.read(addr), true);
+
+    if (mshr.inv_pending) {
+        // Read-once: the invalidation was acknowledged when it
+        // arrived; the data has now been consumed exactly once, so
+        // drop the line before it can become visibly stale.
+        clearLinkIfCovers(line);
+        array_.invalidate(ln);
+    } else if (mshr.dwg_pending) {
+        // Downgrade was acknowledged clean on arrival; demote the
+        // freshly granted copy.
+        ln->meta.state = L1State::S;
+    }
+}
+
+void
+L1Cache::handleData(const Message &msg, L1State granted)
+{
+    const Addr line = msg.line;
+    auto it = mshrs_.find(line);
+    FSOI_ASSERT(it != mshrs_.end(),
+                "node %u: data for line %llx without MSHR", node_,
+                static_cast<unsigned long long>(line));
+    it->second.request_outstanding = false;
+
+    if (!array_.peek(line)) {
+        Line *slot = makeRoom(line);
+        if (!slot) {
+            // Every way of the set is pinned by an in-flight upgrade;
+            // retry the install next cycle.
+            deferredData_.push_back(msg);
+            return;
+        }
+        array_.install(slot, line, LineMeta{granted});
+    }
+    finishMshr(line, granted);
+}
+
+void
+L1Cache::handleExcAck(const Message &msg)
+{
+    const Addr line = msg.line;
+    auto it = mshrs_.find(line);
+    FSOI_ASSERT(it != mshrs_.end());
+    it->second.request_outstanding = false;
+    if (!array_.peek(line)) {
+        // Race: our S copy was consumed read-once (an invalidation
+        // overtook a regrant) after the directory classified this as
+        // an upgrade. The directory now counts us as the owner, so a
+        // full Req(Ex) fetches the current L2 copy as DataM (the
+        // directory's owner-lost-its-copy path).
+        it->second.want = Mshr::Want::Exclusive;
+        it->second.inv_pending = false;
+        issueRequest(line, it->second);
+        return;
+    }
+    finishMshr(line, L1State::M);
+}
+
+void
+L1Cache::handleInv(const Message &msg)
+{
+    const Addr line = msg.line;
+    stats_.invalidations_received++;
+
+    auto it = mshrs_.find(line);
+    auto *ln = array_.find(line);
+    if (traceEnabled())
+        std::fprintf(stderr, "[l1 %u] inv line=%llx mshr=%d ln=%s\n",
+                     node_, (unsigned long long)line,
+                     (int)(it != mshrs_.end()),
+                     ln ? l1StateName(ln->meta.state) : "none");
+
+    Message ack{};
+    ack.line = line;
+    ack.requester = node_;
+    ack.version = msg.version;
+
+    if (it != mshrs_.end()) {
+        if (ln && ln->meta.state == L1State::S
+            && it->second.want == Mshr::Want::Upgrade) {
+            // Table 2: S.MA + Inv -> InvAck / I.MD. The directory
+            // reinterprets our queued upgrade as a full Req(Ex).
+            clearLinkIfCovers(line);
+            array_.invalidate(ln);
+            it->second.want = Mshr::Want::Exclusive;
+            if (!config_.confirmation_acks || msg.explicit_ack) {
+                ack.type = MsgType::InvAck;
+                queueSend(homeOf_(line), ack);
+            }
+            return;
+        }
+        // I.SD / I.MD (Table 2): acknowledge immediately -- the
+        // request may be parked behind a directory transaction, so the
+        // directory must not wait on us. If a data grant is already in
+        // flight it will be consumed exactly once and dropped
+        // (read-once), so no stale copy ever becomes visible.
+        it->second.inv_pending = true;
+        clearLinkIfCovers(line);
+        if (!config_.confirmation_acks || msg.explicit_ack) {
+            ack.type = MsgType::InvAck;
+            queueSend(homeOf_(line), ack);
+        }
+        return;
+    }
+
+    if (ln) {
+        const L1State state = ln->meta.state;
+        clearLinkIfCovers(line);
+        array_.invalidate(ln);
+        if (state == L1State::M) {
+            ack.type = MsgType::InvAckData;
+            queueSend(homeOf_(line), ack);
+        } else if (state == L1State::E) {
+            ack.type = MsgType::InvAck;
+            queueSend(homeOf_(line), ack);
+        } else if (!config_.confirmation_acks || msg.explicit_ack) {
+            ack.type = MsgType::InvAck;
+            queueSend(homeOf_(line), ack);
+        }
+        return;
+    }
+
+    // Stale invalidation for a line we no longer hold (Table 2:
+    // I + Inv -> InvAck / I).
+    if (!config_.confirmation_acks || msg.explicit_ack) {
+        ack.type = MsgType::InvAck;
+        if (traceEnabled())
+            std::fprintf(stderr, "[l1 %u] stale-ack line=%llx -> %u\n",
+                         node_, (unsigned long long)line, homeOf_(line));
+        queueSend(homeOf_(line), ack);
+    }
+}
+
+void
+L1Cache::handleDwg(const Message &msg)
+{
+    const Addr line = msg.line;
+    stats_.downgrades_received++;
+    if (traceEnabled()) {
+        const auto *lnp = array_.peek(line);
+        std::fprintf(stderr, "[l1 %u] dwg line=%llx mshr=%d ln=%s\n",
+                     node_, (unsigned long long)line,
+                     (int)(mshrs_.count(line) != 0),
+                     lnp ? l1StateName(lnp->meta.state) : "none");
+    }
+
+    Message ack{};
+    ack.line = line;
+    ack.requester = node_;
+    ack.version = msg.version;
+
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        auto *ln = array_.find(line);
+        if (!ln) {
+            // As with Inv: acknowledge immediately (clean; the L2 copy
+            // is current) and downgrade the eventual grant on arrival.
+            it->second.dwg_pending = true;
+            ack.type = MsgType::DwgAck;
+            queueSend(homeOf_(line), ack);
+            return;
+        }
+        // Upgrade in flight on a present S line: stale downgrade.
+        ack.type = MsgType::DwgAck;
+        queueSend(homeOf_(line), ack);
+        return;
+    }
+
+    if (auto *ln = array_.find(line); ln) {
+        if (ln->meta.state == L1State::M) {
+            ack.type = MsgType::DwgAckData;
+            ln->meta.state = L1State::S;
+        } else {
+            ack.type = MsgType::DwgAck;
+            if (ln->meta.state == L1State::E)
+                ln->meta.state = L1State::S;
+        }
+        queueSend(homeOf_(line), ack);
+        return;
+    }
+
+    ack.type = MsgType::DwgAck;
+    queueSend(homeOf_(line), ack);
+}
+
+void
+L1Cache::handleNack(const Message &msg)
+{
+    auto it = mshrs_.find(msg.line);
+    if (it == mshrs_.end())
+        return; // satisfied through another path meanwhile
+    stats_.nacks++;
+    it->second.request_outstanding = false;
+    it->second.retry_at = now_ + config_.nack_retry_delay;
+}
+
+void
+L1Cache::handleMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::DataS:
+        handleData(msg, L1State::S);
+        break;
+      case MsgType::DataE:
+        handleData(msg, L1State::E);
+        break;
+      case MsgType::DataM:
+        handleData(msg, L1State::M);
+        break;
+      case MsgType::ExcAck:
+        handleExcAck(msg);
+        break;
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::Dwg:
+        handleDwg(msg);
+        break;
+      case MsgType::Nack:
+        handleNack(msg);
+        break;
+      default:
+        panic("L1 %u: unexpected message %s", node_,
+              msgTypeName(msg.type));
+    }
+}
+
+void
+L1Cache::drainStoreBuffer()
+{
+    if (storeBuffer_.empty())
+        return;
+    const StoreEntry &head = storeBuffer_.front();
+    const Addr line = array_.lineAddr(head.addr);
+
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        it->second.store_pending = true;
+        return;
+    }
+
+    auto *ln = array_.find(head.addr);
+    if (ln && ln->meta.state == L1State::M) {
+        performStoreHead();
+        return;
+    }
+    if (ln && ln->meta.state == L1State::E) {
+        ln->meta.state = L1State::M;
+        performStoreHead();
+        return;
+    }
+    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+        return;
+    stats_.l1_accesses++;
+    Mshr &mshr = mshrs_[line];
+    if (ln && ln->meta.state == L1State::S) {
+        mshr.want = Mshr::Want::Upgrade;
+        stats_.upgrades++;
+    } else {
+        mshr.want = Mshr::Want::Exclusive;
+        stats_.misses++;
+    }
+    mshr.store_pending = true;
+    issueRequest(line, mshr);
+}
+
+void
+L1Cache::tick(Cycle now)
+{
+    now_ = now;
+
+    // Fire completed operations.
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < pendingDone_.size(); ++i) {
+            auto &done = pendingDone_[i];
+            if (done.due <= now)
+                done.cb(done.value, done.success);
+            else
+                pendingDone_[keep++] = std::move(done);
+        }
+        pendingDone_.resize(keep);
+    }
+
+    // Retry deferred fills.
+    if (!deferredData_.empty()) {
+        std::vector<Message> retry;
+        retry.swap(deferredData_);
+        for (const auto &msg : retry) {
+            const L1State granted = msg.type == MsgType::DataS
+                ? L1State::S
+                : msg.type == MsgType::DataE ? L1State::E : L1State::M;
+            handleData(msg, granted);
+        }
+    }
+
+    // Drain the outbox into the transport.
+    while (!outbox_.empty()
+           && transport_.trySend(node_, outbox_.front().dst,
+                                 outbox_.front().msg)) {
+        outbox_.pop_front();
+    }
+
+    // NACK retries.
+    for (auto &[line, mshr] : mshrs_) {
+        if (mshr.retry_at != kNoCycle && mshr.retry_at <= now
+            && !mshr.request_outstanding) {
+            issueRequest(line, mshr);
+        }
+    }
+
+    drainStoreBuffer();
+}
+
+bool
+L1Cache::quiescent() const
+{
+    return mshrs_.empty() && storeBuffer_.empty() && outbox_.empty()
+        && pendingDone_.empty() && deferredData_.empty();
+}
+
+} // namespace fsoi::coherence
+
+namespace fsoi::coherence {
+
+void
+L1Cache::debugDump() const
+{
+    std::fprintf(stderr, "L1[%u]: %zu mshrs, %zu stores, %zu outbox, "
+                 "%zu pendingDone, %zu deferred\n",
+                 node_, mshrs_.size(), storeBuffer_.size(), outbox_.size(),
+                 pendingDone_.size(), deferredData_.size());
+    for (const auto &[line, mshr] : mshrs_) {
+        std::fprintf(stderr,
+                     "  mshr line=%llx want=%d outstanding=%d retry_at=%llu"
+                     " inv_pend=%d dwg_pend=%d store_pend=%d sc=%d "
+                     "loads=%zu\n",
+                     (unsigned long long)line, (int)mshr.want,
+                     (int)mshr.request_outstanding,
+                     (unsigned long long)mshr.retry_at,
+                     (int)mshr.inv_pending, (int)mshr.dwg_pending,
+                     (int)mshr.store_pending, (int)mshr.is_sc,
+                     mshr.loads.size());
+    }
+}
+
+} // namespace fsoi::coherence

@@ -1,0 +1,67 @@
+#include "coherence/message.hh"
+
+namespace fsoi::coherence {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::ReqSh: return "ReqSh";
+      case MsgType::ReqEx: return "ReqEx";
+      case MsgType::ReqUpg: return "ReqUpg";
+      case MsgType::SyncLl: return "SyncLl";
+      case MsgType::SyncSc: return "SyncSc";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataE: return "DataE";
+      case MsgType::DataM: return "DataM";
+      case MsgType::ExcAck: return "ExcAck";
+      case MsgType::Nack: return "Nack";
+      case MsgType::SyncReply: return "SyncReply";
+      case MsgType::Inv: return "Inv";
+      case MsgType::Dwg: return "Dwg";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::InvAckData: return "InvAckData";
+      case MsgType::DwgAck: return "DwgAck";
+      case MsgType::DwgAckData: return "DwgAckData";
+      case MsgType::WriteBack: return "WriteBack";
+      case MsgType::MemRead: return "MemRead";
+      case MsgType::MemWrite: return "MemWrite";
+      case MsgType::MemReply: return "MemReply";
+    }
+    return "?";
+}
+
+noc::PacketKind
+packetKindOf(MsgType type)
+{
+    using noc::PacketKind;
+    switch (type) {
+      case MsgType::ReqSh:
+      case MsgType::ReqEx:
+      case MsgType::ReqUpg:
+      case MsgType::SyncLl:
+      case MsgType::SyncSc:
+        return PacketKind::Request;
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+        return PacketKind::Reply;
+      case MsgType::WriteBack:
+      case MsgType::InvAckData:
+      case MsgType::DwgAckData:
+        return PacketKind::WriteBack;
+      case MsgType::MemRead:
+      case MsgType::MemWrite:
+        return PacketKind::MemRequest;
+      case MsgType::MemReply:
+        return PacketKind::MemReply;
+      case MsgType::InvAck:
+      case MsgType::DwgAck:
+      case MsgType::ExcAck:
+        return PacketKind::Ack;
+      default:
+        return PacketKind::Control;
+    }
+}
+
+} // namespace fsoi::coherence

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Message transport seen by the protocol controllers.
+ *
+ * Controllers (L1s, directories, memory controllers) send Messages to
+ * endpoint ids; the System's transport implementation maps remote sends
+ * onto the configured interconnect and short-circuits node-local sends
+ * (an L1 talking to the directory slice on its own tile) without
+ * touching the network, charging a fixed local latency instead.
+ */
+
+#ifndef FSOI_COHERENCE_TRANSPORT_HH
+#define FSOI_COHERENCE_TRANSPORT_HH
+
+#include "coherence/message.hh"
+#include "common/types.hh"
+
+namespace fsoi::coherence {
+
+/** Abstract message port used by all protocol controllers. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Attempt to send @p msg from @p src to @p dst. Returns false when
+     * the underlying queue is full; the caller keeps the message in its
+     * outbox and retries next cycle.
+     */
+    virtual bool trySend(NodeId src, NodeId dst, const Message &msg) = 0;
+};
+
+} // namespace fsoi::coherence
+
+#endif // FSOI_COHERENCE_TRANSPORT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error and status reporting in the spirit of gem5's logging.hh.
+ *
+ * panic()  - a simulator bug: something that must never happen happened.
+ *            Prints and aborts (core dump friendly).
+ * fatal()  - a user error (bad configuration, impossible parameters).
+ *            Prints and exits with status 1.
+ * warn()   - functionality approximated; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef FSOI_COMMON_LOGGING_HH
+#define FSOI_COMMON_LOGGING_HH
+
+namespace fsoi {
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Implementation hook for FSOI_ASSERT; do not call directly. */
+[[noreturn]] void panicAt(const char *file, int line, const char *cond,
+                          const char *fmt = nullptr, ...);
+
+/**
+ * Always-on assertion (survives NDEBUG). Optional printf-style message:
+ * FSOI_ASSERT(x > 0) or FSOI_ASSERT(x > 0, "x=%d", x).
+ */
+#define FSOI_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::fsoi::panicAt(__FILE__, __LINE__,                         \
+                            #cond __VA_OPT__(,) __VA_ARGS__);           \
+        }                                                               \
+    } while (0)
+
+} // namespace fsoi
+
+#endif // FSOI_COMMON_LOGGING_HH

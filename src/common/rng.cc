@@ -1,0 +1,18 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace fsoi {
+
+double
+Rng::nextExponential(double mean)
+{
+    FSOI_ASSERT(mean > 0.0);
+    // Avoid log(0) by clamping to the smallest representable open interval.
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 1e-18;
+    return -mean * std::log(u);
+}
+
+} // namespace fsoi

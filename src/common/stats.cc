@@ -1,0 +1,43 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace fsoi {
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Histogram::quantile(double q) const
+{
+    FSOI_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        running += bins_[i];
+        if (static_cast<double>(running) >= target)
+            return (static_cast<double>(i) + 1.0) * binWidth_;
+    }
+    return static_cast<double>(bins_.size()) * binWidth_;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double x : xs) {
+        if (x > 0.0) {
+            log_sum += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace fsoi

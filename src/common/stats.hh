@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight statistics primitives used across the simulator.
+ *
+ * Components keep plain members of these types and expose them through
+ * their public interface; the sim::System aggregates and prints them.
+ */
+
+#ifndef FSOI_COMMON_STATS_HH
+#define FSOI_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fsoi {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming mean/min/max/stddev accumulator. */
+class Accumulator
+{
+  public:
+    void
+    add(double x)
+    {
+        n_ += 1;
+        sum_ += x;
+        sumsq_ += x * x;
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        if (n_ == 0)
+            return 0.0;
+        const double m = mean();
+        const double v = sumsq_ / n_ - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+    double stddev() const;
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = sumsq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin-width histogram with an overflow bucket.
+ *
+ * Bin i covers [i * binWidth, (i + 1) * binWidth); samples at or past
+ * numBins * binWidth land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bin_width, std::size_t num_bins)
+        : binWidth_(bin_width), bins_(num_bins + 1, 0)
+    {
+        FSOI_ASSERT(bin_width > 0.0 && num_bins > 0);
+    }
+
+    void
+    add(double x)
+    {
+        total_ += 1;
+        acc_.add(x);
+        std::size_t idx = x < 0.0
+            ? 0
+            : static_cast<std::size_t>(x / binWidth_);
+        if (idx >= bins_.size() - 1)
+            idx = bins_.size() - 1; // overflow bucket
+        bins_[idx] += 1;
+    }
+
+    std::uint64_t count() const { return total_; }
+    double mean() const { return acc_.mean(); }
+    double max() const { return acc_.max(); }
+    double binWidth() const { return binWidth_; }
+    std::size_t numBins() const { return bins_.size() - 1; }
+    std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+    std::uint64_t overflow() const { return bins_.back(); }
+
+    /** Fraction of samples in bin i. */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
+    }
+
+    /** Smallest x such that at least quantile q of samples are <= x. */
+    double quantile(double q) const;
+
+    void
+    reset()
+    {
+        total_ = 0;
+        acc_.reset();
+        std::fill(bins_.begin(), bins_.end(), 0);
+    }
+
+  private:
+    double binWidth_;
+    std::uint64_t total_ = 0;
+    Accumulator acc_;
+    std::vector<std::uint64_t> bins_;
+};
+
+/** Named scalar for stat dumps. */
+struct StatValue
+{
+    std::string name;
+    double value;
+};
+
+/** Ordered list of named stats a component reports. */
+using StatDump = std::vector<StatValue>;
+
+/** Geometric mean of a list of ratios (ignores non-positive entries). */
+double geometricMean(const std::vector<double> &xs);
+
+} // namespace fsoi
+
+#endif // FSOI_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer for the benchmark harnesses.
+ *
+ * Every bench binary prints the same rows/series the paper's tables and
+ * figures report; this class keeps the formatting consistent.
+ */
+
+#ifndef FSOI_COMMON_TABLE_HH
+#define FSOI_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fsoi {
+
+/** Column-aligned table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a value as a percentage string, e.g. "12.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with column padding to the stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fsoi
+
+#endif // FSOI_COMMON_TABLE_HH

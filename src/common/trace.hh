@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Protocol-trace gate. Tracing is enabled by setting FSOI_TRACE=1 in
+ * the environment; the flag is read once so the check is a single
+ * branch in hot paths.
+ */
+
+#ifndef FSOI_COMMON_TRACE_HH
+#define FSOI_COMMON_TRACE_HH
+
+#include <cstdlib>
+
+namespace fsoi {
+
+/** True when FSOI_TRACE is set; evaluated once per process. */
+inline bool
+traceEnabled()
+{
+    static const bool enabled = std::getenv("FSOI_TRACE") != nullptr;
+    return enabled;
+}
+
+} // namespace fsoi
+
+#endif // FSOI_COMMON_TRACE_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every fsoi-sim module.
+ */
+
+#ifndef FSOI_COMMON_TYPES_HH
+#define FSOI_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fsoi {
+
+/** Simulation time in CPU clock cycles (3.3 GHz core clock by default). */
+using Cycle = std::uint64_t;
+
+/** Identifier of a network endpoint (core node or memory controller). */
+using NodeId = std::uint32_t;
+
+/** Physical byte address in the simulated shared memory. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "no cycle / not yet". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace fsoi
+
+#endif // FSOI_COMMON_TYPES_HH

@@ -1,0 +1,487 @@
+#include "fsoi/fsoi_network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fsoi::fsoi {
+
+namespace {
+
+/** First slot boundary at or after @p cycle for slot length @p len. */
+Cycle
+alignUp(Cycle cycle, int len)
+{
+    const Cycle rem = cycle % len;
+    return rem == 0 ? cycle : cycle + (len - rem);
+}
+
+/** Reservation key: destination, receiver index, absolute slot index. */
+std::uint64_t
+reservationKey(NodeId dst, int rx, std::uint64_t slot)
+{
+    return (static_cast<std::uint64_t>(dst) << 48)
+        | (static_cast<std::uint64_t>(rx & 0xff) << 40)
+        | (slot & 0xffffffffffULL);
+}
+
+} // namespace
+
+const char *
+collisionCategoryName(CollisionCategory cat)
+{
+    switch (cat) {
+      case CollisionCategory::Memory: return "Memory";
+      case CollisionCategory::Reply: return "Reply";
+      case CollisionCategory::WriteBack: return "WriteBack";
+      case CollisionCategory::Retransmission: return "Retransmission";
+      case CollisionCategory::Other: return "Other";
+      default: return "?";
+    }
+}
+
+FsoiNetwork::FsoiNetwork(const noc::MeshLayout &layout,
+                         const FsoiConfig &config)
+    : Network(layout.numEndpoints()), layout_(layout), config_(config),
+      rng_(config.seed),
+      lanes_(static_cast<std::size_t>(layout.numEndpoints()) * 2),
+      confirmHandlers_(layout.numEndpoints()),
+      controlBitHandlers_(layout.numEndpoints())
+{
+    FSOI_ASSERT(config_.data_vcsels >= 1 && config_.meta_vcsels >= 1);
+    FSOI_ASSERT(config_.receivers_per_lane >= 1);
+    FSOI_ASSERT(config_.backoff_window >= 1.0 && config_.backoff_base >= 1.0);
+    FSOI_ASSERT(config_.bandwidth_scale > 0.0
+                && config_.bandwidth_scale <= 1.0);
+    FSOI_ASSERT(config_.confirmation_delay >= 1);
+}
+
+int
+FsoiNetwork::slotCycles(PacketClass cls) const
+{
+    const int vcsels = cls == PacketClass::Meta ? config_.meta_vcsels
+                                                : config_.data_vcsels;
+    const double capacity = vcsels * config_.bits_per_cycle_per_vcsel
+        * config_.bandwidth_scale;
+    return static_cast<int>(
+        std::ceil(noc::packetBits(cls) / capacity - 1e-9));
+}
+
+double
+FsoiNetwork::transmissionProbability(PacketClass cls) const
+{
+    const auto slots = slotsElapsed_[static_cast<int>(cls)].value();
+    if (slots == 0)
+        return 0.0;
+    return static_cast<double>(stats().attempts(cls))
+        / (static_cast<double>(slots) * numEndpoints());
+}
+
+std::uint64_t
+FsoiNetwork::dataCollisionEventsTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : dataCollisionEvents_)
+        total += c.value();
+    return total;
+}
+
+FsoiNetwork::TxLane &
+FsoiNetwork::lane(NodeId node, PacketClass cls)
+{
+    return lanes_[static_cast<std::size_t>(node) * 2
+                  + static_cast<int>(cls)];
+}
+
+const FsoiNetwork::TxLane &
+FsoiNetwork::lane(NodeId node, PacketClass cls) const
+{
+    return lanes_[static_cast<std::size_t>(node) * 2
+                  + static_cast<int>(cls)];
+}
+
+void
+FsoiNetwork::setConfirmHandler(NodeId node, ConfirmHandler handler)
+{
+    FSOI_ASSERT(node < confirmHandlers_.size());
+    confirmHandlers_[node] = std::move(handler);
+}
+
+void
+FsoiNetwork::setControlBitHandler(NodeId node, ControlBitHandler handler)
+{
+    FSOI_ASSERT(node < controlBitHandlers_.size());
+    controlBitHandlers_[node] = std::move(handler);
+}
+
+bool
+FsoiNetwork::canAccept(NodeId src, PacketClass cls) const
+{
+    return lane(src, cls).queue.size()
+        < static_cast<std::size_t>(config_.queue_capacity);
+}
+
+int
+FsoiNetwork::windowSlots(int retry) const
+{
+    const double w = config_.backoff_window
+        * std::pow(config_.backoff_base, retry - 1);
+    return static_cast<int>(std::max(1.0, std::ceil(w)));
+}
+
+bool
+FsoiNetwork::reserveReplySlot(const Packet &request, Cycle now,
+                              Cycle &release_at)
+{
+    // The data reply will come from request.dst back to request.src and
+    // land on receiver (request.dst mod R) of the requester.
+    const int data_slot = slotCycles(PacketClass::Data);
+    const int rx = static_cast<int>(request.dst)
+        % config_.receivers_per_lane;
+    const Cycle predicted = now + config_.predicted_reply_latency;
+    std::uint64_t slot = predicted / data_slot;
+    Cycle delay = 0;
+    // Shift the request until the predicted reply slot is free.
+    for (int tries = 0; tries < 8; ++tries) {
+        const auto key = reservationKey(request.src, rx, slot + tries);
+        if (!reservations_.count(key)) {
+            reservations_.insert(key);
+            reservationLog_.push_back({slot + tries, key});
+            delay = static_cast<Cycle>(tries) * data_slot;
+            release_at = now + delay;
+            return true;
+        }
+    }
+    release_at = now;
+    return false;
+}
+
+bool
+FsoiNetwork::send(Packet &&pkt)
+{
+    if (!canAccept(pkt.src, pkt.cls))
+        return false;
+    stampOnSend(pkt);
+
+    Cycle release_at = pkt.created;
+    if (config_.request_spacing && pkt.cls == PacketClass::Meta
+        && pkt.kind == PacketKind::Request) {
+        reserveReplySlot(pkt, pkt.created, release_at);
+    } else if (config_.request_spacing && pkt.cls == PacketClass::Data
+               && pkt.kind == PacketKind::WriteBack) {
+        // Split-transaction writeback: claim a slot at the home so the
+        // data packet arrives expected rather than unannounced.
+        const int data_slot = slotCycles(PacketClass::Data);
+        const int rx = static_cast<int>(pkt.src)
+            % config_.receivers_per_lane;
+        std::uint64_t slot = alignUp(pkt.created + 1, data_slot)
+            / data_slot;
+        for (int tries = 0; tries < 8; ++tries) {
+            const auto key = reservationKey(pkt.dst, rx, slot + tries);
+            if (!reservations_.count(key)) {
+                reservations_.insert(key);
+                reservationLog_.push_back({slot + tries, key});
+                release_at = (slot + tries) * data_slot;
+                break;
+            }
+        }
+    }
+    pkt.sched_delay = release_at - pkt.created;
+
+    lane(pkt.src, pkt.cls).queue.push_back(
+        QueuedPacket{std::move(pkt), release_at});
+    ++packetsInFlight_;
+    return true;
+}
+
+void
+FsoiNetwork::sendControlBit(NodeId src, NodeId dst, std::uint64_t tag)
+{
+    FSOI_ASSERT(src < static_cast<NodeId>(numEndpoints())
+                && dst < static_cast<NodeId>(numEndpoints()));
+    controlBits_.push_back(ControlBitEvent{
+        now() + config_.confirmation_delay + 1, src, dst, tag});
+    activity_.control_bits++;
+}
+
+void
+FsoiNetwork::processControlBits(Cycle now)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < controlBits_.size(); ++i) {
+        auto &evt = controlBits_[i];
+        if (evt.due <= now) {
+            auto &handler = controlBitHandlers_[evt.dst];
+            FSOI_ASSERT(handler != nullptr,
+                        "control bit to node %u without handler", evt.dst);
+            handler(evt.src, evt.tag);
+        } else {
+            controlBits_[keep++] = std::move(evt);
+        }
+    }
+    controlBits_.resize(keep);
+}
+
+void
+FsoiNetwork::processConfirmations(Cycle now)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < confirmations_.size(); ++i) {
+        auto &evt = confirmations_[i];
+        if (evt.due > now) {
+            confirmations_[keep++] = std::move(evt);
+            continue;
+        }
+        if (evt.success) {
+            activity_.confirmations++;
+            auto &handler = confirmHandlers_[evt.pkt.src];
+            if (handler)
+                handler(evt.pkt);
+            continue;
+        }
+        // Missing confirmation: the sender now knows the packet
+        // collided and schedules a retransmission slot.
+        Packet pkt = std::move(evt.pkt);
+        pkt.retries += 1;
+        const int slot_len = slotCycles(pkt.cls);
+        Cycle retry_at;
+        if (evt.hinted_winner) {
+            // The receiver picked this sender: go in the next slot.
+            retry_at = alignUp(now + 1, slot_len);
+        } else {
+            const Cycle base = config_.collision_hints
+                && pkt.cls == PacketClass::Data
+                ? alignUp(now + 1, slot_len) + slot_len // skip hint slot
+                : alignUp(now + 1, slot_len);
+            const int window = windowSlots(pkt.retries);
+            const int draw =
+                static_cast<int>(rng_.nextRange(1, window));
+            retry_at = base + static_cast<Cycle>(draw - 1) * slot_len;
+        }
+        lane(pkt.src, pkt.cls).retries.push_back(
+            RetryEntry{std::move(pkt), retry_at});
+    }
+    confirmations_.resize(keep);
+}
+
+CollisionCategory
+FsoiNetwork::classify(const std::vector<Transmission *> &colliders)
+{
+    bool any_retry = false, any_mem = false, any_wb = false;
+    bool all_reply = true;
+    for (const auto *tx : colliders) {
+        const auto kind = tx->pkt.kind;
+        if (tx->pkt.retries > 0)
+            any_retry = true;
+        if (kind == PacketKind::MemRequest || kind == PacketKind::MemReply)
+            any_mem = true;
+        if (kind == PacketKind::WriteBack)
+            any_wb = true;
+        if (kind != PacketKind::Reply)
+            all_reply = false;
+    }
+    if (any_retry)
+        return CollisionCategory::Retransmission;
+    if (any_mem)
+        return CollisionCategory::Memory;
+    if (any_wb)
+        return CollisionCategory::WriteBack;
+    if (all_reply)
+        return CollisionCategory::Reply;
+    return CollisionCategory::Other;
+}
+
+void
+FsoiNetwork::resolveSlot(PacketClass cls, Cycle now)
+{
+    auto &inflight = inflight_[static_cast<int>(cls)];
+    if (inflight.empty())
+        return;
+
+    // Group transmissions by (destination, receiver index).
+    std::unordered_map<std::uint64_t, std::vector<Transmission *>> groups;
+    for (auto &tx : inflight) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(tx.pkt.dst) << 8)
+            | static_cast<unsigned>(tx.rx);
+        groups[key].push_back(&tx);
+    }
+
+    for (auto &[key, txs] : groups) {
+        (void)key;
+        if (txs.size() == 1) {
+            // Clean reception: deliver now, confirm the sender at
+            // now + confirmation_delay.
+            Packet &pkt = txs[0]->pkt;
+            Packet confirm_copy = pkt; // cheap: payload is shared_ptr
+            if (pkt.cls == PacketClass::Data && pkt.retries > 0)
+                dataResolution_.add(
+                    static_cast<double>(pkt.final_tx - pkt.first_tx));
+            confirmations_.push_back(ConfirmEvent{
+                now + config_.confirmation_delay, true, false,
+                std::move(confirm_copy)});
+            deliver(pkt);
+            --packetsInFlight_;
+            continue;
+        }
+        // Collision: the receiver sees the OR of the beams; the
+        // PID/~PID check flags corruption. Every packet involved must
+        // be retransmitted.
+        if (cls == PacketClass::Data) {
+            dataCollisionEvents_[static_cast<int>(classify(txs))]++;
+        }
+        int winner = -1;
+        if (config_.collision_hints && cls == PacketClass::Data
+            && rng_.nextBool(config_.hint_accuracy)) {
+            winner = static_cast<int>(rng_.nextBelow(txs.size()));
+        }
+        for (std::size_t i = 0; i < txs.size(); ++i) {
+            stats().recordCollision(cls, txs[i]->pkt.kind);
+            confirmations_.push_back(ConfirmEvent{
+                now + config_.confirmation_delay, false,
+                static_cast<int>(i) == winner,
+                std::move(txs[i]->pkt)});
+        }
+    }
+    inflight.clear();
+}
+
+void
+FsoiNetwork::startSlot(PacketClass cls, Cycle now)
+{
+    const int slot_len = slotCycles(cls);
+    const int vcsels = cls == PacketClass::Meta ? config_.meta_vcsels
+                                                : config_.data_vcsels;
+    slotsElapsed_[static_cast<int>(cls)]++;
+
+    for (NodeId node = 0;
+         node < static_cast<NodeId>(numEndpoints()); ++node) {
+        TxLane &ln = lane(node, cls);
+
+        // Pick the packet to transmit: pending retries first (earliest
+        // retry_at), then the head of the outgoing queue.
+        Packet pkt;
+        bool have = false;
+        int best = -1;
+        for (std::size_t i = 0; i < ln.retries.size(); ++i) {
+            if (ln.retries[i].retry_at > now)
+                continue;
+            if (best < 0
+                || ln.retries[i].retry_at < ln.retries[best].retry_at)
+                best = static_cast<int>(i);
+        }
+        if (best >= 0) {
+            pkt = std::move(ln.retries[best].pkt);
+            ln.retries.erase(ln.retries.begin() + best);
+            have = true;
+        } else if (!ln.queue.empty()
+                   && ln.queue.front().release_at <= now) {
+            pkt = std::move(ln.queue.front().pkt);
+            ln.queue.pop_front();
+            have = true;
+        }
+        if (!have)
+            continue;
+
+        // Phase-array steering: the beam must already point at the
+        // destination, with any re-steer completed, to use this slot.
+        if (config_.phase_array) {
+            if (ln.beam_target != pkt.dst) {
+                ln.beam_target = pkt.dst;
+                ln.setup_ready = now + config_.phase_setup_cycles;
+                activity_.phase_setups++;
+                ln.retries.push_back(RetryEntry{std::move(pkt), now});
+                continue;
+            }
+            if (ln.setup_ready > now) {
+                ln.retries.push_back(RetryEntry{std::move(pkt), now});
+                continue;
+            }
+        }
+
+        if (pkt.first_tx == kNoCycle)
+            pkt.first_tx = now;
+        pkt.final_tx = now;
+        stats().recordAttempt(cls);
+        activity_.vcsel_slot_cycles +=
+            static_cast<std::uint64_t>(slot_len) * vcsels;
+        activity_.bits_transmitted += noc::packetBits(cls);
+
+        const int rx = static_cast<int>(node) % config_.receivers_per_lane;
+        inflight_[static_cast<int>(cls)].push_back(
+            Transmission{std::move(pkt), rx});
+    }
+}
+
+void
+FsoiNetwork::tick(Cycle now)
+{
+    setNow(now);
+
+    processControlBits(now);
+    processConfirmations(now);
+
+    for (PacketClass cls : {PacketClass::Meta, PacketClass::Data}) {
+        if (now % slotCycles(cls) == 0) {
+            resolveSlot(cls, now);
+            startSlot(cls, now);
+        }
+    }
+
+    // Phase-array: start re-steering toward the next packet's target as
+    // soon as it reaches the head of a lane, so the setup (1 cycle)
+    // usually overlaps the wait for the slot boundary.
+    if (config_.phase_array) {
+        for (NodeId node = 0;
+             node < static_cast<NodeId>(numEndpoints()); ++node) {
+            for (PacketClass cls : {PacketClass::Meta, PacketClass::Data}) {
+                TxLane &ln = lane(node, cls);
+                const Packet *next = nullptr;
+                for (const auto &r : ln.retries)
+                    if (r.retry_at <= now + 1) {
+                        next = &r.pkt;
+                        break;
+                    }
+                if (!next && !ln.queue.empty()
+                    && ln.queue.front().release_at <= now + 1)
+                    next = &ln.queue.front().pkt;
+                if (next && ln.beam_target != next->dst
+                    && ln.setup_ready <= now) {
+                    ln.beam_target = next->dst;
+                    ln.setup_ready = now + config_.phase_setup_cycles;
+                    activity_.phase_setups++;
+                }
+            }
+        }
+    }
+
+    // Drop stale request-spacing reservations.
+    if (config_.request_spacing) {
+        const int data_slot = slotCycles(PacketClass::Data);
+        const std::uint64_t current = now / data_slot;
+        while (!reservationLog_.empty()
+               && reservationLog_.front().slot < current) {
+            reservations_.erase(reservationLog_.front().key);
+            reservationLog_.pop_front();
+        }
+    }
+}
+
+bool
+FsoiNetwork::idle() const
+{
+    if (packetsInFlight_ != 0)
+        return false;
+    if (!confirmations_.empty() || !controlBits_.empty())
+        return false;
+    for (const auto &ln : lanes_)
+        if (!ln.queue.empty() || !ln.retries.empty())
+            return false;
+    for (const auto &fl : inflight_)
+        if (!fl.empty())
+            return false;
+    return true;
+}
+
+} // namespace fsoi::fsoi

@@ -1,0 +1,79 @@
+#include "memory/memory_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fsoi::memory {
+
+using coherence::Message;
+using coherence::MsgType;
+
+MemoryController::MemoryController(NodeId node, const MemConfig &config,
+                                   coherence::Transport &transport)
+    : node_(node), config_(config), transport_(transport)
+{
+    FSOI_ASSERT(config_.bytes_per_cycle > 0.0);
+    FSOI_ASSERT(config_.latency >= 1);
+}
+
+Cycle
+MemoryController::serviceCycles() const
+{
+    return static_cast<Cycle>(
+        std::ceil(config_.line_bytes / config_.bytes_per_cycle));
+}
+
+void
+MemoryController::handleMessage(const Message &msg)
+{
+    const Cycle start = std::max(now_, busyUntil_);
+    stats_.queue_delay.add(static_cast<double>(start - now_));
+    busyUntil_ = start + serviceCycles();
+    stats_.busy_cycles += serviceCycles();
+
+    switch (msg.type) {
+      case MsgType::MemRead: {
+        stats_.reads++;
+        Message reply{};
+        reply.type = MsgType::MemReply;
+        reply.line = msg.line;
+        reply.requester = node_;
+        replies_.push_back(Reply{
+            busyUntil_ + static_cast<Cycle>(config_.latency),
+            msg.requester, reply});
+        return;
+      }
+      case MsgType::MemWrite:
+        stats_.writes++; // posted: no response
+        return;
+      default:
+        panic("memory controller %u: unexpected message %s", node_,
+              msgTypeName(msg.type));
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    now_ = now;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < replies_.size(); ++i) {
+        auto &reply = replies_[i];
+        if (reply.ready_at <= now
+            && transport_.trySend(node_, reply.dst, reply.msg)) {
+            continue;
+        }
+        replies_[keep++] = std::move(reply);
+    }
+    replies_.resize(keep);
+}
+
+bool
+MemoryController::quiescent() const
+{
+    return replies_.empty();
+}
+
+} // namespace fsoi::memory

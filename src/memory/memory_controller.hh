@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Off-chip memory controller / DRAM channel model.
+ *
+ * One controller per channel, attached to the interconnect as a full
+ * endpoint (quadrant routers in the 16-node mesh; its own lanes in the
+ * FSOI system). Requests are address-interleaved across controllers by
+ * the directories. Each request occupies the channel for a
+ * bandwidth-determined service time and reads additionally pay the
+ * fixed DRAM latency (200 cycles in Table 3). Writes are posted.
+ */
+
+#ifndef FSOI_MEMORY_MEMORY_CONTROLLER_HH
+#define FSOI_MEMORY_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <vector>
+
+#include "coherence/message.hh"
+#include "coherence/transport.hh"
+#include "common/stats.hh"
+
+namespace fsoi::memory {
+
+/** Per-channel configuration. */
+struct MemConfig
+{
+    int latency = 200;           //!< DRAM access latency (cycles)
+    double bytes_per_cycle = 0.67; //!< channel bandwidth (8.8 GB/s over
+                                  //!< 4 channels at 3.3 GHz)
+    int line_bytes = 32;         //!< transfer size
+    int queue_capacity = 32;     //!< outstanding requests
+};
+
+/** Per-controller statistics. */
+struct MemStats
+{
+    Counter reads;
+    Counter writes;
+    Counter busy_cycles;
+    Accumulator queue_delay;
+};
+
+/** One DRAM channel. */
+class MemoryController
+{
+  public:
+    MemoryController(NodeId node, const MemConfig &config,
+                     coherence::Transport &transport);
+
+    NodeId node() const { return node_; }
+    const MemStats &stats() const { return stats_; }
+
+    /** Handle MemRead / MemWrite from a directory. */
+    void handleMessage(const coherence::Message &msg);
+
+    void tick(Cycle now);
+
+    bool quiescent() const;
+
+  private:
+    struct Reply
+    {
+        Cycle ready_at;
+        NodeId dst;
+        coherence::Message msg;
+    };
+
+    /** Channel service time per line transfer, in cycles. */
+    Cycle serviceCycles() const;
+
+    NodeId node_;
+    MemConfig config_;
+    coherence::Transport &transport_;
+
+    Cycle busyUntil_ = 0;
+    Cycle now_ = 0;
+    std::vector<Reply> replies_;
+    MemStats stats_;
+};
+
+} // namespace fsoi::memory
+
+#endif // FSOI_MEMORY_MEMORY_CONTROLLER_HH

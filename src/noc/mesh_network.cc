@@ -1,0 +1,546 @@
+#include "noc/mesh_network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+#include <cstdio>
+
+namespace fsoi::noc {
+
+namespace {
+
+/** Direction port indices; local ports start at kFirstLocal. */
+enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+constexpr int kFirstLocal = 4;
+
+} // namespace
+
+/** One flit of a packet in flight. */
+struct MeshNetwork::Flit
+{
+    std::shared_ptr<Packet> pkt;
+    bool head = false;
+    bool tail = false;
+    Cycle ready_at = 0; //!< switch-allocation eligibility at this router
+};
+
+/** A single mesh router with VC input buffers and credit flow control. */
+struct MeshNetwork::Router
+{
+    struct Vc
+    {
+        std::deque<Flit> buf;
+        int out_port = -1; //!< route of the packet currently at the head
+        int out_vc = -1;   //!< downstream VC granted to that packet
+    };
+
+    struct InPort
+    {
+        Router *up = nullptr; //!< upstream router (nullptr = injection)
+        int up_port = -1;     //!< output port index at the upstream router
+        std::vector<Vc> vcs;
+        int rr = 0; //!< VC round-robin pointer
+    };
+
+    struct OutPort
+    {
+        Router *peer = nullptr; //!< downstream router (nullptr = ejection)
+        int peer_port = -1;     //!< input port index at the peer
+        bool local = false;
+        std::vector<int> credits;
+        std::vector<char> vc_busy;
+        int rr_in = 0; //!< switch-allocation round-robin pointer
+        int rr_vc = 0; //!< VC-allocation round-robin pointer
+    };
+
+    struct CreditEvent
+    {
+        Cycle due;
+        int port;
+        int vc;
+    };
+
+    int id = 0;
+    int x = 0;
+    int y = 0;
+    int scan_phase = 0; //!< rotating input-port priority (fairness)
+    std::vector<InPort> in;
+    std::vector<OutPort> out;
+    std::vector<CreditEvent> credit_queue;
+    // Per-tick scratch: candidate VC per input port (-1 = none).
+    std::vector<int> candidate;
+
+    void
+    applyCredits(Cycle now)
+    {
+        auto it = credit_queue.begin();
+        while (it != credit_queue.end()) {
+            if (it->due <= now) {
+                ++out[it->port].credits[it->vc];
+                it = credit_queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &ip : in)
+            for (const auto &vc : ip.vcs)
+                if (!vc.buf.empty())
+                    return false;
+        return true;
+    }
+};
+
+MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config)
+    : Network(layout.numEndpoints()), layout_(layout), config_(config),
+      injectors_(static_cast<std::size_t>(layout.numEndpoints()))
+{
+    FSOI_ASSERT(config_.num_vcs >= 2 && config_.num_vcs % 2 == 0,
+                "need an even number of VCs to partition meta/data");
+    FSOI_ASSERT(config_.buffer_depth >= config_.data_flits,
+                "VC buffer must hold a whole data packet");
+    FSOI_ASSERT(config_.bandwidth_scale > 0.0
+                && config_.bandwidth_scale <= 1.0);
+
+    const int side = layout_.side();
+    const int num_routers = side * side;
+
+    // How many local ports each router needs (core + attached memctls).
+    std::vector<int> local_ports(num_routers, 1);
+    for (int m = 0; m < layout_.numMemctls(); ++m) {
+        const NodeId ep = static_cast<NodeId>(layout_.numCores() + m);
+        local_ports[layout_.routerOf(ep)] += 1;
+    }
+
+    routers_.reserve(num_routers);
+    for (int r = 0; r < num_routers; ++r) {
+        auto router = std::make_unique<Router>();
+        router->id = r;
+        router->x = layout_.xOf(r);
+        router->y = layout_.yOf(r);
+        const int num_ports = kFirstLocal + local_ports[r];
+        router->in.resize(num_ports);
+        router->out.resize(num_ports);
+        for (int p = 0; p < num_ports; ++p) {
+            router->in[p].vcs.resize(config_.num_vcs);
+            router->out[p].credits.assign(config_.num_vcs,
+                                          config_.buffer_depth);
+            router->out[p].vc_busy.assign(config_.num_vcs, 0);
+        }
+        router->candidate.assign(num_ports, -1);
+        routers_.push_back(std::move(router));
+    }
+
+    // Wire neighbouring routers (E<->W, N<->S) and mark local ports.
+    auto at = [&](int x, int y) { return routers_[y * side + x].get(); };
+    for (int y = 0; y < side; ++y) {
+        for (int x = 0; x < side; ++x) {
+            Router *r = at(x, y);
+            if (x + 1 < side) {
+                Router *e = at(x + 1, y);
+                r->out[kEast] = {e, kWest, false,
+                                 std::vector<int>(config_.num_vcs,
+                                                  config_.buffer_depth),
+                                 std::vector<char>(config_.num_vcs, 0),
+                                 0, 0};
+                e->in[kWest].up = r;
+                e->in[kWest].up_port = kEast;
+                e->out[kWest] = {r, kEast, false,
+                                 std::vector<int>(config_.num_vcs,
+                                                  config_.buffer_depth),
+                                 std::vector<char>(config_.num_vcs, 0),
+                                 0, 0};
+                r->in[kEast].up = e;
+                r->in[kEast].up_port = kWest;
+            }
+            if (y + 1 < side) {
+                Router *s = at(x, y + 1);
+                r->out[kSouth] = {s, kNorth, false,
+                                  std::vector<int>(config_.num_vcs,
+                                                   config_.buffer_depth),
+                                  std::vector<char>(config_.num_vcs, 0),
+                                  0, 0};
+                s->in[kNorth].up = r;
+                s->in[kNorth].up_port = kSouth;
+                s->out[kNorth] = {r, kSouth, false,
+                                  std::vector<int>(config_.num_vcs,
+                                                   config_.buffer_depth),
+                                  std::vector<char>(config_.num_vcs, 0),
+                                  0, 0};
+                r->in[kSouth].up = s;
+                r->in[kSouth].up_port = kNorth;
+            }
+        }
+    }
+    for (auto &router : routers_) {
+        for (std::size_t p = kFirstLocal; p < router->out.size(); ++p)
+            router->out[p].local = true;
+    }
+}
+
+MeshNetwork::~MeshNetwork() = default;
+
+int
+MeshNetwork::flitsPerPacket(PacketClass cls) const
+{
+    const int base = cls == PacketClass::Meta ? config_.meta_flits
+                                              : config_.data_flits;
+    return static_cast<int>(
+        std::ceil(base / config_.bandwidth_scale - 1e-9));
+}
+
+int
+MeshNetwork::localPortOf(NodeId endpoint) const
+{
+    if (!layout_.isMemctl(endpoint))
+        return kFirstLocal;
+    // Memory controllers take the port after the core's. The layout
+    // spreads controllers so at most one shares a router with the core.
+    return kFirstLocal + 1;
+}
+
+bool
+MeshNetwork::canAccept(NodeId src, PacketClass cls) const
+{
+    const auto &lane =
+        injectors_[src].lanes[static_cast<int>(cls)];
+    return lane.queue.size()
+        < static_cast<std::size_t>(config_.inject_queue_capacity);
+}
+
+bool
+MeshNetwork::send(Packet &&pkt)
+{
+    if (!canAccept(pkt.src, pkt.cls))
+        return false;
+    stampOnSend(pkt);
+    injectors_[pkt.src].lanes[static_cast<int>(pkt.cls)]
+        .queue.push_back(std::move(pkt));
+    ++packetsInFlight_;
+    return true;
+}
+
+void
+MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
+{
+    auto &lane = inj.lanes[cls_idx];
+    FSOI_ASSERT(!lane.queue.empty());
+    // Choose a VC in this class's partition with room in the local
+    // input port of the endpoint's router.
+    Router &router = *routers_[layout_.routerOf(endpoint)];
+    auto &iport = router.in[localPortOf(endpoint)];
+    const int half = config_.num_vcs / 2;
+    const int lo = cls_idx == 0 ? 0 : half;
+    const int hi = cls_idx == 0 ? half : config_.num_vcs;
+    for (int vc = lo; vc < hi; ++vc) {
+        // The VC must not be mid-packet from this injector and must
+        // have room for the whole packet eventually; we stream flit by
+        // flit so only per-flit room is needed, but a fresh packet must
+        // not interleave with another packet on the same VC.
+        const auto &buf = iport.vcs[vc].buf;
+        const bool mid_packet = !buf.empty() && !buf.back().tail;
+        if (mid_packet)
+            continue;
+        if (static_cast<int>(buf.size()) >= config_.buffer_depth)
+            continue;
+        if (inj.active[0] && inj.vc[0] == vc)
+            continue;
+        if (inj.active[1] && inj.vc[1] == vc)
+            continue;
+        auto pkt = std::make_shared<Packet>(std::move(lane.queue.front()));
+        lane.queue.pop_front();
+        if (traceEnabled() && pkt->kind == PacketKind::Ack
+            && pkt->src == 2)
+            std::fprintf(stderr,
+                         "[mesh] start pkt %llu ack %u->%u vc=%d\n",
+                         (unsigned long long)pkt->id, pkt->src, pkt->dst,
+                         vc);
+        pkt->first_tx = now();
+        pkt->final_tx = now();
+        stats().recordAttempt(pkt->cls);
+        inj.active[cls_idx] = std::move(pkt);
+        inj.remaining[cls_idx] = flitsPerPacket(
+            cls_idx == 0 ? PacketClass::Meta : PacketClass::Data);
+        inj.vc[cls_idx] = vc;
+        return;
+    }
+}
+
+void
+MeshNetwork::tickInjection(Cycle now)
+{
+    for (NodeId ep = 0; ep < static_cast<NodeId>(layout_.numEndpoints());
+         ++ep) {
+        Injector &inj = injectors_[ep];
+        // Begin serialization of queued packets when a class is idle.
+        for (int c = 0; c < 2; ++c)
+            if (!inj.active[c] && !inj.lanes[c].queue.empty())
+                startPacket(inj, c, ep);
+
+        // One flit per cycle per endpoint, alternating classes.
+        Router &router = *routers_[layout_.routerOf(ep)];
+        auto &iport = router.in[localPortOf(ep)];
+        for (int k = 0; k < 2; ++k) {
+            const int c = (inj.rr_class + k) % 2;
+            if (!inj.active[c])
+                continue;
+            auto &buf = iport.vcs[inj.vc[c]].buf;
+            if (static_cast<int>(buf.size()) >= config_.buffer_depth)
+                continue; // no room this cycle
+            const int total = flitsPerPacket(
+                c == 0 ? PacketClass::Meta : PacketClass::Data);
+            Flit flit;
+            flit.pkt = inj.active[c];
+            flit.head = inj.remaining[c] == total;
+            flit.tail = inj.remaining[c] == 1;
+            flit.ready_at = now + config_.router_cycles;
+            buf.push_back(std::move(flit));
+            activity_.buffer_writes++;
+            if (--inj.remaining[c] == 0) {
+                inj.active[c] = nullptr;
+                inj.vc[c] = -1;
+            }
+            inj.rr_class = (c + 1) % 2;
+            break; // one flit per endpoint per cycle
+        }
+    }
+}
+
+void
+MeshNetwork::tick(Cycle now)
+{
+    setNow(now);
+
+    // Deliver packets whose tail ejected.
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].due <= now) {
+                deliver(*pending_[i].pkt);
+                --packetsInFlight_;
+            } else {
+                pending_[keep++] = std::move(pending_[i]);
+            }
+        }
+        pending_.resize(keep);
+    }
+
+    const int half = config_.num_vcs / 2;
+
+    for (auto &rptr : routers_) {
+        Router &router = *rptr;
+        router.applyCredits(now);
+
+        // --- Switch allocation: input-first candidate selection ---
+        // The scan start rotates every cycle; a fixed start would give
+        // low-numbered ports permanent VA priority and can starve a
+        // port indefinitely under saturation.
+        std::fill(router.candidate.begin(), router.candidate.end(), -1);
+        router.scan_phase = (router.scan_phase + 1)
+            % static_cast<int>(router.in.size());
+        for (std::size_t pi = 0; pi < router.in.size(); ++pi) {
+            const std::size_t p =
+                (pi + router.scan_phase) % router.in.size();
+            auto &iport = router.in[p];
+            for (int k = 0; k < config_.num_vcs; ++k) {
+                const int v = (iport.rr + k) % config_.num_vcs;
+                auto &vc = iport.vcs[v];
+                if (vc.buf.empty())
+                    continue;
+                Flit &flit = vc.buf.front();
+                if (flit.ready_at > now)
+                    continue;
+                // Route compute for a head flit reaching the front.
+                if (flit.head && vc.out_port < 0) {
+                    const int dst_router = layout_.routerOf(flit.pkt->dst);
+                    Router &dr = *routers_[dst_router];
+                    if (dr.id == router.id) {
+                        vc.out_port = localPortOf(flit.pkt->dst);
+                    } else if (router.x != layout_.xOf(dst_router)) {
+                        vc.out_port = router.x < layout_.xOf(dst_router)
+                            ? kEast : kWest;
+                    } else {
+                        vc.out_port = router.y < layout_.yOf(dst_router)
+                            ? kSouth : kNorth;
+                    }
+                }
+                FSOI_ASSERT(vc.out_port >= 0 || !flit.head,
+                            "body flit without route at router %d",
+                            router.id);
+                auto &oport = router.out[vc.out_port];
+                // VC allocation within the packet's class partition.
+                if (vc.out_vc < 0) {
+                    const bool is_meta =
+                        flit.pkt->cls == PacketClass::Meta;
+                    const int lo = is_meta ? 0 : half;
+                    const int hi = is_meta ? half : config_.num_vcs;
+                    for (int j = 0; j < hi - lo; ++j) {
+                        const int cand =
+                            lo + (oport.rr_vc + j) % (hi - lo);
+                        if (!oport.vc_busy[cand]) {
+                            oport.vc_busy[cand] = 1;
+                            oport.rr_vc = (cand - lo + 1) % (hi - lo);
+                            vc.out_vc = cand;
+                            break;
+                        }
+                    }
+                    if (vc.out_vc < 0)
+                        continue; // no downstream VC free
+                }
+                if (!oport.local && oport.credits[vc.out_vc] <= 0)
+                    continue; // no buffer space downstream
+                router.candidate[p] = v;
+                break;
+            }
+        }
+
+        // --- Output arbitration + switch traversal ---
+        for (std::size_t o = 0; o < router.out.size(); ++o) {
+            auto &oport = router.out[o];
+            int winner_port = -1;
+            const int np = static_cast<int>(router.in.size());
+            for (int k = 0; k < np; ++k) {
+                const int p = (oport.rr_in + k) % np;
+                const int v = router.candidate[p];
+                if (v < 0)
+                    continue;
+                if (router.in[p].vcs[v].out_port != static_cast<int>(o))
+                    continue;
+                winner_port = p;
+                break;
+            }
+            if (winner_port < 0)
+                continue;
+            activity_.arbitrations++;
+            oport.rr_in = (winner_port + 1) % np;
+            auto &iport = router.in[winner_port];
+            const int v = router.candidate[winner_port];
+            router.candidate[winner_port] = -1; // input used this cycle
+            auto &vc = iport.vcs[v];
+            Flit flit = std::move(vc.buf.front());
+            vc.buf.pop_front();
+            iport.rr = (v + 1) % config_.num_vcs;
+            activity_.buffer_reads++;
+            activity_.crossbar_traversals++;
+
+            const int out_vc = vc.out_vc;
+            if (flit.tail) {
+                oport.vc_busy[out_vc] = 0;
+                vc.out_port = -1;
+                vc.out_vc = -1;
+            }
+            // Return a credit upstream for the freed buffer slot.
+            if (iport.up) {
+                iport.up->credit_queue.push_back(
+                    {now + 1, iport.up_port, v});
+            }
+            if (oport.local) {
+                if (flit.tail) {
+                    if (traceEnabled()
+                        && flit.pkt->kind == PacketKind::Ack
+                        && flit.pkt->src == 2)
+                        std::fprintf(stderr,
+                                     "[mesh] eject pkt %llu at r%d "
+                                     "port %zu\n",
+                                     (unsigned long long)flit.pkt->id,
+                                     router.id, o);
+                    pending_.push_back(
+                        {now + static_cast<Cycle>(config_.link_cycles),
+                         flit.pkt});
+                }
+            } else {
+                --oport.credits[out_vc];
+                FSOI_ASSERT(oport.credits[out_vc] >= 0);
+                activity_.link_traversals++;
+                flit.ready_at = now + config_.link_cycles
+                    + config_.router_cycles;
+                auto &dbuf = oport.peer->in[oport.peer_port].vcs[out_vc].buf;
+                dbuf.push_back(std::move(flit));
+                FSOI_ASSERT(static_cast<int>(dbuf.size())
+                            <= config_.buffer_depth,
+                            "credit protocol violated at router %d",
+                            oport.peer->id);
+                activity_.buffer_writes++;
+            }
+        }
+    }
+
+    tickInjection(now);
+}
+
+void
+MeshNetwork::debugDump() const
+{
+    std::fprintf(stderr, "mesh: %llu packets in flight, now=%llu\n",
+                 (unsigned long long)packetsInFlight_,
+                 (unsigned long long)now());
+    for (const auto &rptr : routers_) {
+        const Router &router = *rptr;
+        for (std::size_t p = 0; p < router.in.size(); ++p) {
+            for (int v = 0; v < config_.num_vcs; ++v) {
+                const auto &vc = router.in[p].vcs[v];
+                if (vc.buf.empty())
+                    continue;
+                const auto &f = vc.buf.front();
+                std::fprintf(stderr,
+                             "  r%d in%zu vc%d: %zu flits, front pkt %llu "
+                             "%s->%u head=%d tail=%d ready=%llu outp=%d "
+                             "outvc=%d\n",
+                             router.id, p, v, vc.buf.size(),
+                             (unsigned long long)f.pkt->id,
+                             f.pkt->cls == PacketClass::Meta ? "M" : "D",
+                             f.pkt->dst, (int)f.head, (int)f.tail,
+                             (unsigned long long)f.ready_at, vc.out_port,
+                             vc.out_vc);
+            }
+        }
+        for (std::size_t o = 0; o < router.out.size(); ++o) {
+            const auto &op = router.out[o];
+            for (int v = 0; v < config_.num_vcs; ++v) {
+                if (op.vc_busy[v])
+                    std::fprintf(stderr,
+                                 "  r%d out%zu vc%d busy credits=%d\n",
+                                 router.id, o, v,
+                                 op.local ? -1 : op.credits[v]);
+            }
+        }
+    }
+    for (std::size_t ep = 0; ep < injectors_.size(); ++ep) {
+        const auto &inj = injectors_[ep];
+        for (int c = 0; c < 2; ++c) {
+            if (inj.active[c] || !inj.lanes[c].queue.empty())
+                std::fprintf(stderr,
+                             "  inj %zu class %d: queue=%zu active=%d "
+                             "remaining=%d vc=%d\n",
+                             ep, c, inj.lanes[c].queue.size(),
+                             (int)(inj.active[c] != nullptr),
+                             inj.remaining[c], inj.vc[c]);
+        }
+    }
+}
+
+bool
+MeshNetwork::idle() const
+{
+    if (packetsInFlight_ != 0)
+        return false;
+    for (const auto &inj : injectors_) {
+        if (inj.active[0] || inj.active[1])
+            return false;
+        if (!inj.lanes[0].queue.empty() || !inj.lanes[1].queue.empty())
+            return false;
+    }
+    for (const auto &router : routers_)
+        if (!router->empty())
+            return false;
+    return true;
+}
+
+} // namespace fsoi::noc

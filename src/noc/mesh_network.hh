@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Conventional packet-switched electrical mesh: the paper's baseline.
+ *
+ * Canonical 4-cycle virtual-channel wormhole routers (buffer write /
+ * route compute, VC allocation, switch allocation, switch traversal)
+ * with credit-based flow control, XY dimension-order routing, 4 VCs per
+ * input port, 12-flit VC buffers and 1-cycle links (Table 3).
+ *
+ * Meta packets occupy 1 flit, data packets 5 flits (72-bit flits). VCs
+ * are partitioned between the two classes (2 + 2), which keeps request
+ * and reply traffic from head-of-line blocking each other; ejection
+ * never blocks (protocol-level overflow is handled by NACKs at the
+ * controllers, per the paper's footnote 3).
+ *
+ * The network also counts the micro-events (buffer accesses, crossbar
+ * and link traversals, arbitrations) that the Orion-style energy model
+ * converts to energy.
+ */
+
+#ifndef FSOI_NOC_MESH_NETWORK_HH
+#define FSOI_NOC_MESH_NETWORK_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "noc/network.hh"
+#include "noc/topology.hh"
+
+namespace fsoi::noc {
+
+/** Mesh parameters (defaults = Table 3). */
+struct MeshConfig
+{
+    int num_vcs = 4;            //!< virtual channels per input port
+    int buffer_depth = 12;      //!< flits per VC buffer
+    int router_cycles = 4;      //!< router pipeline depth
+    int link_cycles = 1;        //!< link traversal
+    int meta_flits = 1;         //!< flits per meta packet
+    int data_flits = 5;         //!< flits per data packet
+    int inject_queue_capacity = 8; //!< packets per source per class
+    /**
+     * Bandwidth scale factor for the Figure 11 sensitivity study:
+     * 1.0 = full bandwidth. Scaling below 1.0 stretches serialization
+     * (more flits per packet) to model narrower links.
+     */
+    double bandwidth_scale = 1.0;
+};
+
+/** Micro-event counters consumed by the energy model. */
+struct MeshActivity
+{
+    Counter buffer_writes;
+    Counter buffer_reads;
+    Counter crossbar_traversals;
+    Counter link_traversals;
+    Counter arbitrations;
+};
+
+/** The full mesh interconnect. */
+class MeshNetwork : public Network
+{
+  public:
+    MeshNetwork(const MeshLayout &layout, const MeshConfig &config);
+    ~MeshNetwork() override;
+
+    bool send(Packet &&pkt) override;
+    bool canAccept(NodeId src, PacketClass cls) const override;
+    void tick(Cycle now) override;
+    bool idle() const override;
+
+    const MeshActivity &activity() const { return activity_; }
+    const MeshConfig &config() const { return config_; }
+    const MeshLayout &layout() const { return layout_; }
+
+    /** Flits per packet of @p cls after bandwidth scaling. */
+    int flitsPerPacket(PacketClass cls) const;
+
+    /** Print buffered-flit state to stderr (watchdog diagnostics). */
+    void debugDump() const;
+
+  private:
+    struct Router;
+    struct Flit;
+
+    struct InjectLane
+    {
+        std::deque<Packet> queue;
+    };
+
+    /** Per-endpoint injection state: streams one flit per cycle. */
+    struct Injector
+    {
+        InjectLane lanes[2];            // per class
+        // In-progress packet per class: remaining flits to inject.
+        std::shared_ptr<Packet> active[2];
+        int remaining[2] = {0, 0};
+        int vc[2] = {-1, -1};           // VC chosen for the active packet
+        int rr_class = 0;               // alternate between classes
+    };
+
+    struct PendingDelivery
+    {
+        Cycle due;
+        std::shared_ptr<Packet> pkt;
+    };
+
+    void tickInjection(Cycle now);
+    void startPacket(Injector &inj, int cls_idx, NodeId endpoint);
+    int localPortOf(NodeId endpoint) const;
+
+    MeshLayout layout_;
+    MeshConfig config_;
+    MeshActivity activity_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<Injector> injectors_;       // per endpoint
+    std::vector<PendingDelivery> pending_;  // tail-ejected packets
+    std::uint64_t packetsInFlight_ = 0;
+};
+
+} // namespace fsoi::noc
+
+#endif // FSOI_NOC_MESH_NETWORK_HH

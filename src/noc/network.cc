@@ -1,0 +1,91 @@
+#include "noc/network.hh"
+
+#include "common/logging.hh"
+
+namespace fsoi::noc {
+
+const char *
+packetKindName(PacketKind kind)
+{
+    switch (kind) {
+      case PacketKind::Request: return "Request";
+      case PacketKind::Reply: return "Reply";
+      case PacketKind::WriteBack: return "WriteBack";
+      case PacketKind::MemRequest: return "MemRequest";
+      case PacketKind::MemReply: return "MemReply";
+      case PacketKind::Ack: return "Ack";
+      case PacketKind::Control: return "Control";
+    }
+    return "?";
+}
+
+void
+NetworkStats::recordDelivery(const Packet &pkt)
+{
+    deliveredCount_[index(pkt.cls)]++;
+    const double total = static_cast<double>(pkt.totalLatency());
+    total_.add(total);
+    queuing_.add(static_cast<double>(pkt.queuingLatency()));
+    scheduling_.add(static_cast<double>(pkt.sched_delay));
+    network_.add(static_cast<double>(pkt.networkLatency()));
+    collision_.add(static_cast<double>(pkt.collisionLatency()));
+    perClass_[index(pkt.cls)].add(total);
+}
+
+void
+NetworkStats::reset()
+{
+    for (auto &c : deliveredCount_)
+        c.reset();
+    for (auto &c : collisions_)
+        c.reset();
+    for (auto &c : attempts_)
+        c.reset();
+    for (auto &c : collisionsByKind_)
+        c.reset();
+    total_.reset();
+    queuing_.reset();
+    scheduling_.reset();
+    network_.reset();
+    collision_.reset();
+    perClass_[0].reset();
+    perClass_[1].reset();
+}
+
+Network::Network(int num_endpoints)
+    : numEndpoints_(num_endpoints),
+      handlers_(static_cast<std::size_t>(num_endpoints))
+{
+    FSOI_ASSERT(num_endpoints > 1);
+}
+
+void
+Network::setHandler(NodeId node, Handler handler)
+{
+    FSOI_ASSERT(node < handlers_.size());
+    handlers_[node] = std::move(handler);
+}
+
+void
+Network::stampOnSend(Packet &pkt)
+{
+    FSOI_ASSERT(pkt.src < handlers_.size() && pkt.dst < handlers_.size());
+    FSOI_ASSERT(pkt.src != pkt.dst, "self-send from node %u", pkt.src);
+    pkt.id = nextId_++;
+    pkt.created = now_;
+}
+
+void
+Network::deliver(Packet &pkt)
+{
+    pkt.delivered = now_;
+    FSOI_ASSERT(pkt.first_tx != kNoCycle && pkt.final_tx != kNoCycle,
+                "packet %llu delivered without transmission timestamps",
+                static_cast<unsigned long long>(pkt.id));
+    stats_.recordDelivery(pkt);
+    auto &handler = handlers_[pkt.dst];
+    FSOI_ASSERT(handler != nullptr, "no handler at node %u", pkt.dst);
+    handler(pkt);
+}
+
+} // namespace fsoi::noc

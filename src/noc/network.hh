@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Abstract interconnect interface plus the statistics every
+ * implementation records. The coherent-memory system talks to one of:
+ *
+ *  - fsoi::noc::MeshNetwork   : the conventional packet-switched baseline
+ *  - fsoi::noc::IdealNetwork  : the L0 / Lr1 / Lr2 comparison points
+ *  - fsoi::fsoi::FsoiNetwork  : the paper's free-space optical design
+ */
+
+#ifndef FSOI_NOC_NETWORK_HH
+#define FSOI_NOC_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/packet.hh"
+
+namespace fsoi::noc {
+
+/** Per-class latency accumulators and event counters. */
+class NetworkStats
+{
+  public:
+    /** Record a delivered packet's latency components. */
+    void recordDelivery(const Packet &pkt);
+
+    /** Record an attempted transmission that collided. */
+    void
+    recordCollision(PacketClass cls, PacketKind kind)
+    {
+        collisions_[index(cls)]++;
+        collisionsByKind_[static_cast<int>(kind)]++;
+    }
+
+    /** Record a transmission attempt (for transmission probability). */
+    void
+    recordAttempt(PacketClass cls)
+    {
+        attempts_[index(cls)]++;
+    }
+
+    std::uint64_t delivered(PacketClass cls) const
+    { return deliveredCount_[index(cls)].value(); }
+    std::uint64_t deliveredTotal() const
+    { return delivered(PacketClass::Meta) + delivered(PacketClass::Data); }
+    std::uint64_t collisions(PacketClass cls) const
+    { return collisions_[index(cls)].value(); }
+    std::uint64_t collisionsOfKind(PacketKind kind) const
+    { return collisionsByKind_[static_cast<int>(kind)].value(); }
+    std::uint64_t attempts(PacketClass cls) const
+    { return attempts_[index(cls)].value(); }
+
+    /** Fraction of transmission attempts that collided. */
+    double
+    collisionRate(PacketClass cls) const
+    {
+        const auto a = attempts(cls);
+        return a ? static_cast<double>(collisions(cls)) / a : 0.0;
+    }
+
+    const Accumulator &totalLatency() const { return total_; }
+    const Accumulator &queuing() const { return queuing_; }
+    const Accumulator &scheduling() const { return scheduling_; }
+    const Accumulator &network() const { return network_; }
+    const Accumulator &collisionResolution() const { return collision_; }
+    const Accumulator &latencyOf(PacketClass cls) const
+    { return perClass_[index(cls)]; }
+
+    void reset();
+
+  private:
+    static int index(PacketClass cls) { return static_cast<int>(cls); }
+
+    Counter deliveredCount_[2];
+    Counter collisions_[2];
+    Counter attempts_[2];
+    Counter collisionsByKind_[8];
+    Accumulator total_;
+    Accumulator queuing_;
+    Accumulator scheduling_;
+    Accumulator network_;
+    Accumulator collision_;
+    Accumulator perClass_[2];
+};
+
+/**
+ * Abstract interconnect. The owning System calls tick() exactly once per
+ * core cycle (before the protocol controllers), and endpoints call send()
+ * during their own ticks. Delivery happens via per-endpoint handlers.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(Packet &)>;
+
+    explicit Network(int num_endpoints);
+    virtual ~Network() = default;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    int numEndpoints() const { return numEndpoints_; }
+    Cycle now() const { return now_; }
+
+    /** Install the delivery callback for an endpoint. */
+    void setHandler(NodeId node, Handler handler);
+
+    /**
+     * Queue a packet for transmission. Returns false (and leaves the
+     * packet untouched) when the source's outgoing queue is full; the
+     * caller must retry later.
+     */
+    virtual bool send(Packet &&pkt) = 0;
+
+    /** True when the source can currently accept a packet of @p cls. */
+    virtual bool canAccept(NodeId src, PacketClass cls) const = 0;
+
+    /** Advance one cycle; delivers due packets through the handlers. */
+    virtual void tick(Cycle now) = 0;
+
+    /** True when no packet is buffered or in flight. */
+    virtual bool idle() const = 0;
+
+    NetworkStats &stats() { return stats_; }
+    const NetworkStats &stats() const { return stats_; }
+
+  protected:
+    /** Timestamp + id bookkeeping every implementation shares. */
+    void stampOnSend(Packet &pkt);
+
+    /** Finalize timestamps and invoke the destination handler. */
+    void deliver(Packet &pkt);
+
+    void setNow(Cycle now) { now_ = now; }
+
+  private:
+    int numEndpoints_;
+    Cycle now_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::vector<Handler> handlers_;
+    NetworkStats stats_;
+};
+
+} // namespace fsoi::noc
+
+#endif // FSOI_NOC_NETWORK_HH

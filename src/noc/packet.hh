@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Network packet definition shared by all interconnect implementations.
+ *
+ * The system uses two packet lengths (Section 4.3.1): 72-bit meta packets
+ * (requests, acknowledgments, control) and 360-bit data packets (cache
+ * lines, memory transfers). Each packet carries timestamps so the
+ * latency breakdown of Figure 6(a) -- queuing, scheduling, network,
+ * collision resolution -- can be reconstructed at delivery.
+ */
+
+#ifndef FSOI_NOC_PACKET_HH
+#define FSOI_NOC_PACKET_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace fsoi::noc {
+
+/** Lane / length class of a packet. */
+enum class PacketClass : std::uint8_t
+{
+    Meta, //!< 72-bit control packet (1 mesh flit / 2-cycle FSOI slot)
+    Data, //!< 360-bit data packet (5 mesh flits / 5-cycle FSOI slot)
+};
+
+/** Semantic kind, used for the Figure 10 collision breakdown. */
+enum class PacketKind : std::uint8_t
+{
+    Request,    //!< coherence request (meta)
+    Reply,      //!< data reply to an earlier request
+    WriteBack,  //!< evicted dirty line to the directory
+    MemRequest, //!< directory -> memory controller fetch
+    MemReply,   //!< memory controller -> directory fill
+    Ack,        //!< invalidation/exclusive acknowledgment (meta)
+    Control,    //!< everything else (NACKs, updates, barrier tokens)
+};
+
+/** Returns a short printable name for a packet kind. */
+const char *packetKindName(PacketKind kind);
+
+/** Number of payload bits for a class (paper defaults). */
+inline std::uint32_t
+packetBits(PacketClass cls)
+{
+    return cls == PacketClass::Meta ? 72u : 360u;
+}
+
+/** A message in flight between two network endpoints. */
+struct Packet
+{
+    std::uint64_t id = 0;        //!< unique per network instance
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    PacketClass cls = PacketClass::Meta;
+    PacketKind kind = PacketKind::Control;
+
+    /**
+     * Opaque payload owned by the protocol layer (the network never
+     * inspects it).
+     */
+    std::shared_ptr<void> payload;
+
+    // --- Timestamps filled in by the network ---
+    Cycle created = kNoCycle;     //!< handed to Network::send()
+    Cycle first_tx = kNoCycle;    //!< first transmission attempt started
+    Cycle final_tx = kNoCycle;    //!< successful transmission started
+    Cycle delivered = kNoCycle;   //!< handler invoked at the destination
+
+    Cycle sched_delay = 0;        //!< intentional (request-spacing) delay
+    int retries = 0;              //!< collided transmissions before success
+
+    /** Total latency from send() to delivery. */
+    Cycle
+    totalLatency() const
+    {
+        return delivered - created;
+    }
+
+    /** Time spent waiting in the source queue (excl. scheduling). */
+    Cycle
+    queuingLatency() const
+    {
+        return first_tx - created - sched_delay;
+    }
+
+    /** Extra time caused by collisions and retransmissions. */
+    Cycle
+    collisionLatency() const
+    {
+        return final_tx - first_tx;
+    }
+
+    /** Serialization + flight time of the successful transmission. */
+    Cycle
+    networkLatency() const
+    {
+        return delivered - final_tx;
+    }
+
+    /** Convenience for payload retrieval. */
+    template <typename T>
+    std::shared_ptr<T>
+    payloadAs() const
+    {
+        return std::static_pointer_cast<T>(payload);
+    }
+};
+
+/** Build a packet (id/timestamps are assigned by the network). */
+inline Packet
+makePacket(NodeId src, NodeId dst, PacketClass cls, PacketKind kind,
+           std::shared_ptr<void> payload = nullptr)
+{
+    Packet pkt;
+    pkt.src = src;
+    pkt.dst = dst;
+    pkt.cls = cls;
+    pkt.kind = kind;
+    pkt.payload = std::move(payload);
+    return pkt;
+}
+
+} // namespace fsoi::noc
+
+#endif // FSOI_NOC_PACKET_HH

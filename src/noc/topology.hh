@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Physical placement shared by every interconnect model.
+ *
+ * Cores sit on a sqrt(N) x sqrt(N) grid (4x4 or 8x8 in the paper).
+ * Memory controllers are extra endpoints attached to existing routers
+ * (the paper attaches one per quadrant in the 16-node system); they do
+ * not add routers of their own. The ideal (Lr1/Lr2) networks charge
+ * per-hop latency using the same placement, and the FSOI free-space
+ * distances derive from it as well.
+ */
+
+#ifndef FSOI_NOC_TOPOLOGY_HH
+#define FSOI_NOC_TOPOLOGY_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace fsoi::noc {
+
+/** Grid placement of cores and memory controllers. */
+class MeshLayout
+{
+  public:
+    /**
+     * @param num_cores   perfect square (16 or 64 in the paper)
+     * @param num_memctls memory-controller endpoints (4 or 8)
+     */
+    MeshLayout(int num_cores, int num_memctls)
+        : numCores_(num_cores), numMemctls_(num_memctls)
+    {
+        side_ = static_cast<int>(std::lround(std::sqrt(num_cores)));
+        FSOI_ASSERT(side_ * side_ == num_cores,
+                    "core count %d is not a perfect square", num_cores);
+        FSOI_ASSERT(num_memctls >= 1 && num_memctls <= num_cores);
+        // Spread controllers evenly across the router list.
+        attach_.resize(num_memctls);
+        for (int m = 0; m < num_memctls; ++m)
+            attach_[m] = m * num_cores / num_memctls
+                + num_cores / (2 * num_memctls);
+    }
+
+    int numCores() const { return numCores_; }
+    int numMemctls() const { return numMemctls_; }
+    int numEndpoints() const { return numCores_ + numMemctls_; }
+    int side() const { return side_; }
+
+    bool isMemctl(NodeId node) const
+    { return static_cast<int>(node) >= numCores_; }
+
+    /** Router (= core grid position) hosting the given endpoint. */
+    int
+    routerOf(NodeId node) const
+    {
+        FSOI_ASSERT(static_cast<int>(node) < numEndpoints());
+        if (!isMemctl(node))
+            return static_cast<int>(node);
+        return attach_[node - numCores_];
+    }
+
+    int xOf(int router) const { return router % side_; }
+    int yOf(int router) const { return router / side_; }
+
+    /** Manhattan distance in router hops between two endpoints. */
+    int
+    hopDistance(NodeId a, NodeId b) const
+    {
+        const int ra = routerOf(a), rb = routerOf(b);
+        return std::abs(xOf(ra) - xOf(rb)) + std::abs(yOf(ra) - yOf(rb));
+    }
+
+    /** Routers traversed between two endpoints (>= 1). */
+    int
+    routersTraversed(NodeId a, NodeId b) const
+    {
+        return hopDistance(a, b) + 1;
+    }
+
+    /**
+     * Euclidean free-space distance between two endpoints, assuming a
+     * @p chip_width_m wide die (used for optical path lengths).
+     */
+    double
+    euclideanDistance(NodeId a, NodeId b, double chip_width_m) const
+    {
+        const double pitch = chip_width_m / side_;
+        const int ra = routerOf(a), rb = routerOf(b);
+        const double dx = (xOf(ra) - xOf(rb)) * pitch;
+        const double dy = (yOf(ra) - yOf(rb)) * pitch;
+        return std::sqrt(dx * dx + dy * dy);
+    }
+
+  private:
+    int numCores_;
+    int numMemctls_;
+    int side_;
+    std::vector<int> attach_;
+};
+
+} // namespace fsoi::noc
+
+#endif // FSOI_NOC_TOPOLOGY_HH

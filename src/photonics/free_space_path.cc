@@ -1,0 +1,72 @@
+#include "photonics/free_space_path.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "photonics/units.hh"
+
+namespace fsoi::photonics {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+FreeSpacePath::FreeSpacePath(const PathParams &params)
+    : params_(params)
+{
+    FSOI_ASSERT(params_.wavelength_m > 0.0);
+    FSOI_ASSERT(params_.distance_m > 0.0);
+    FSOI_ASSERT(params_.tx_aperture_m > 0.0 && params_.rx_aperture_m > 0.0);
+    FSOI_ASSERT(params_.num_mirrors >= 0);
+}
+
+double
+FreeSpacePath::beamWaist() const
+{
+    // The collimating lens produces a waist that fills half the aperture
+    // diameter (aperture = 2 * w0), the usual low-clipping design point.
+    return params_.tx_aperture_m / 2.0;
+}
+
+double
+FreeSpacePath::rayleighRange() const
+{
+    const double w0 = beamWaist();
+    return kPi * w0 * w0 / params_.wavelength_m;
+}
+
+double
+FreeSpacePath::beamRadiusAt(double distance_m) const
+{
+    const double w0 = beamWaist();
+    const double zr = rayleighRange();
+    const double ratio = distance_m / zr;
+    return w0 * std::sqrt(1.0 + ratio * ratio);
+}
+
+double
+FreeSpacePath::captureFraction() const
+{
+    const double w = beamRadiusAt(params_.distance_m);
+    const double a = params_.rx_aperture_m / 2.0;
+    // Fraction of a Gaussian beam of radius w passing a circular
+    // aperture of radius a: 1 - exp(-2 a^2 / w^2).
+    return 1.0 - std::exp(-2.0 * (a / w) * (a / w));
+}
+
+double
+FreeSpacePath::pathLossDb() const
+{
+    const double clip_db = -toDb(captureFraction());
+    const double mirror_db = params_.num_mirrors * params_.mirror_loss_db;
+    const double lens_db = 2.0 * params_.lens_loss_db;
+    return clip_db + mirror_db + lens_db;
+}
+
+double
+FreeSpacePath::propagationDelay() const
+{
+    return params_.distance_m / kSpeedOfLight;
+}
+
+} // namespace fsoi::photonics

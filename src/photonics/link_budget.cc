@@ -1,0 +1,99 @@
+#include "photonics/link_budget.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "photonics/units.hh"
+
+namespace fsoi::photonics {
+
+OpticalLink::OpticalLink(const VcselParams &vcsel, const PathParams &path,
+                         const PhotodetectorParams &pd, const TiaParams &tia,
+                         const LinkParams &link)
+    : vcsel_(vcsel), path_(path), pd_(pd), tia_(tia), link_(link)
+{
+    FSOI_ASSERT(link_.data_rate_bps > 0.0);
+}
+
+double
+OpticalLink::qToBer(double q)
+{
+    return 0.5 * std::erfc(q / std::sqrt(2.0));
+}
+
+double
+OpticalLink::berToQ(double ber)
+{
+    FSOI_ASSERT(ber > 0.0 && ber < 0.5);
+    double lo = 0.0, hi = 40.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (qToBer(mid) > ber)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+LinkReport
+OpticalLink::evaluate() const
+{
+    LinkReport r{};
+
+    r.distance_m = path_.params().distance_m;
+    r.wavelength_m = path_.params().wavelength_m;
+    r.path_loss_db = path_.pathLossDb();
+    r.propagation_delay_s = path_.propagationDelay();
+
+    const auto ook = vcsel_.ookPoint(link_.average_current_a,
+                                     link_.extinction_ratio);
+    r.vcsel_power_one_w = ook.power_one_w;
+    r.vcsel_power_zero_w = ook.power_zero_w;
+    r.vcsel_electrical_power_w =
+        vcsel_.electricalPower(link_.average_current_a);
+    r.modulation_bandwidth_hz =
+        std::min(vcsel_.modulationBandwidth(ook.current_one_a),
+                 link_.laser_driver_bandwidth_hz);
+
+    const double transmission = fromDb(-r.path_loss_db);
+    r.rx_power_one_w = ook.power_one_w * transmission;
+    r.rx_power_zero_w = ook.power_zero_w * transmission;
+
+    const double i1 = pd_.photocurrent(r.rx_power_one_w);
+    const double i0 = pd_.photocurrent(r.rx_power_zero_w);
+    r.photocurrent_swing_a = i1 - i0;
+    r.output_swing_v = tia_.outputSwing(r.photocurrent_swing_a);
+
+    // Noise: shot noise at each level plus the TIA's input-referred
+    // noise; the Q factor uses per-level sigmas.
+    const double bw = tia_.params().bandwidth_hz;
+    const double tia_noise = tia_.inputNoise();
+    const double sigma1 = std::hypot(pd_.shotNoise(i1, bw), tia_noise);
+    const double sigma0 = std::hypot(pd_.shotNoise(i0, bw), tia_noise);
+    r.total_noise_a = 0.5 * (sigma1 + sigma0);
+
+    r.q_factor = r.photocurrent_swing_a / (sigma1 + sigma0);
+    r.snr_db = toDb(r.q_factor);
+    r.bit_error_rate = qToBer(r.q_factor);
+
+    // Amplitude noise converts to timing jitter through the edge slope
+    // (sigma_t ~ t_rise * sigma_i / i_swing), combined in quadrature
+    // with the deterministic jitter floor (ISI, supply noise).
+    const double random_jitter = tia_.riseTime() * r.total_noise_a
+        / r.photocurrent_swing_a;
+    r.jitter_rms_s = std::hypot(random_jitter,
+                                link_.deterministic_jitter_s);
+
+    r.laser_driver_power_w = link_.laser_driver_power_w;
+    r.vcsel_power_w = r.vcsel_electrical_power_w;
+    r.tx_standby_power_w = link_.tx_standby_power_w;
+    r.receiver_power_w = tia_.params().power_w;
+    r.active_link_power_w = r.laser_driver_power_w + r.vcsel_power_w
+        + r.receiver_power_w;
+    r.energy_per_bit_j = r.active_link_power_w / link_.data_rate_bps;
+
+    return r;
+}
+
+} // namespace fsoi::photonics

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end optical link budget: VCSEL -> micro-lens -> mirrors ->
+ * micro-lens -> photodetector -> TIA/limiting amplifier.
+ *
+ * Assembles the device models into the single-bit link of Figure 2 and
+ * computes every row of Table 1: path loss, signal-to-noise ratio,
+ * bit-error rate, jitter, and the power-consumption breakdown.
+ */
+
+#ifndef FSOI_PHOTONICS_LINK_BUDGET_HH
+#define FSOI_PHOTONICS_LINK_BUDGET_HH
+
+#include "photonics/free_space_path.hh"
+#include "photonics/receiver.hh"
+#include "photonics/vcsel.hh"
+
+namespace fsoi::photonics {
+
+/** Operating-point and circuit parameters of one link. */
+struct LinkParams
+{
+    double data_rate_bps = 40e9;       //!< line rate per VCSEL
+    double average_current_a = 0.48e-3; //!< VCSEL average drive current
+    double extinction_ratio = 11.0;    //!< OOK P1/P0 target
+    double laser_driver_power_w = 6.3e-3;   //!< driver, active
+    double tx_standby_power_w = 0.43e-3;    //!< transmitter in standby
+    double laser_driver_bandwidth_hz = 43e9; //!< driver bandwidth
+    /** Deterministic jitter floor (ISI, supply noise) [s RMS]. */
+    double deterministic_jitter_s = 1.5e-12;
+};
+
+/** Everything Table 1 reports, computed from the models. */
+struct LinkReport
+{
+    // Free-space optics.
+    double distance_m;
+    double wavelength_m;
+    double path_loss_db;
+    double propagation_delay_s;
+
+    // Transmitter.
+    double vcsel_power_one_w;      //!< optical '1' level at the source
+    double vcsel_power_zero_w;     //!< optical '0' level at the source
+    double vcsel_electrical_power_w;
+    double modulation_bandwidth_hz;
+
+    // Receiver.
+    double rx_power_one_w;         //!< optical '1' level at the PD
+    double rx_power_zero_w;
+    double photocurrent_swing_a;   //!< I1 - I0 at the TIA input
+    double total_noise_a;          //!< RMS noise current (shot + TIA)
+    double output_swing_v;         //!< voltage swing after the TIA
+
+    // Link quality.
+    double q_factor;               //!< (I1 - I0) / (sigma1 + sigma0)
+    double snr_db;                 //!< 10 log10(Q), the paper's convention
+    double bit_error_rate;         //!< 0.5 erfc(Q / sqrt 2)
+    double jitter_rms_s;           //!< noise-induced RMS timing jitter
+
+    // Power.
+    double laser_driver_power_w;
+    double vcsel_power_w;          //!< electrical power of the VCSEL
+    double tx_standby_power_w;
+    double receiver_power_w;
+    double active_link_power_w;    //!< driver + VCSEL + receiver
+    double energy_per_bit_j;       //!< active link power / data rate
+};
+
+/** A complete single-bit FSOI link (Figure 2). */
+class OpticalLink
+{
+  public:
+    OpticalLink(const VcselParams &vcsel = VcselParams{},
+                const PathParams &path = PathParams{},
+                const PhotodetectorParams &pd = PhotodetectorParams{},
+                const TiaParams &tia = TiaParams{},
+                const LinkParams &link = LinkParams{});
+
+    const Vcsel &vcsel() const { return vcsel_; }
+    const FreeSpacePath &path() const { return path_; }
+    const Photodetector &photodetector() const { return pd_; }
+    const Tia &tia() const { return tia_; }
+    const LinkParams &linkParams() const { return link_; }
+
+    /** Evaluate the full budget at the configured operating point. */
+    LinkReport evaluate() const;
+
+    /**
+     * Q factor -> bit error rate for OOK with Gaussian noise:
+     * BER = 0.5 * erfc(Q / sqrt(2)).
+     */
+    static double qToBer(double q);
+
+    /** Inverse of qToBer (bisection; @p ber in (0, 0.5)). */
+    static double berToQ(double ber);
+
+  private:
+    Vcsel vcsel_;
+    FreeSpacePath path_;
+    Photodetector pd_;
+    Tia tia_;
+    LinkParams link_;
+};
+
+} // namespace fsoi::photonics
+
+#endif // FSOI_PHOTONICS_LINK_BUDGET_HH

@@ -1,0 +1,68 @@
+#include "photonics/receiver.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "photonics/units.hh"
+
+namespace fsoi::photonics {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Photodetector::Photodetector(const PhotodetectorParams &params)
+    : params_(params)
+{
+    FSOI_ASSERT(params_.responsivity_a_per_w > 0.0);
+    FSOI_ASSERT(params_.capacitance_f > 0.0);
+}
+
+double
+Photodetector::photocurrent(double optical_power_w) const
+{
+    FSOI_ASSERT(optical_power_w >= 0.0);
+    return params_.responsivity_a_per_w * optical_power_w;
+}
+
+double
+Photodetector::shotNoise(double photocurrent_a, double bandwidth_hz) const
+{
+    return std::sqrt(2.0 * kElectronCharge
+                     * (photocurrent_a + params_.dark_current_a)
+                     * bandwidth_hz);
+}
+
+double
+Photodetector::bandwidth(double input_resistance_ohm) const
+{
+    return 1.0 / (2.0 * kPi * input_resistance_ohm * params_.capacitance_f);
+}
+
+Tia::Tia(const TiaParams &params)
+    : params_(params)
+{
+    FSOI_ASSERT(params_.gain_v_per_a > 0.0);
+    FSOI_ASSERT(params_.bandwidth_hz > 0.0);
+}
+
+double
+Tia::outputSwing(double current_swing_a) const
+{
+    return params_.gain_v_per_a * current_swing_a;
+}
+
+double
+Tia::inputNoise() const
+{
+    return params_.input_noise_a_per_sqrt_hz
+        * std::sqrt(params_.bandwidth_hz);
+}
+
+double
+Tia::riseTime() const
+{
+    return 0.35 / params_.bandwidth_hz;
+}
+
+} // namespace fsoi::photonics

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Receiver-side device models: the resonant-cavity photodetector and the
+ * transimpedance amplifier (TIA) + limiting-amplifier chain.
+ *
+ * Defaults follow Table 1: PD responsivity 0.5 A/W with 100 fF
+ * capacitance; TIA/LA chain with 36 GHz bandwidth and 15 kV/A
+ * transimpedance gain.
+ */
+
+#ifndef FSOI_PHOTONICS_RECEIVER_HH
+#define FSOI_PHOTONICS_RECEIVER_HH
+
+namespace fsoi::photonics {
+
+/** Resonant-cavity photodetector parameters. */
+struct PhotodetectorParams
+{
+    double responsivity_a_per_w = 0.5; //!< photocurrent per optical watt
+    double capacitance_f = 100e-15;    //!< junction + pad capacitance
+    double dark_current_a = 5e-9;      //!< reverse-bias dark current
+};
+
+/** Photodetector: optical power in, photocurrent out, with shot noise. */
+class Photodetector
+{
+  public:
+    explicit Photodetector(
+        const PhotodetectorParams &params = PhotodetectorParams{});
+
+    const PhotodetectorParams &params() const { return params_; }
+
+    /** Photocurrent [A] produced by incident optical power [W]. */
+    double photocurrent(double optical_power_w) const;
+
+    /**
+     * RMS shot-noise current [A] at the given average photocurrent over
+     * the given bandwidth: sqrt(2 q (I_ph + I_dark) B).
+     */
+    double shotNoise(double photocurrent_a, double bandwidth_hz) const;
+
+    /** RC-limited bandwidth [Hz] into the given input resistance. */
+    double bandwidth(double input_resistance_ohm) const;
+
+  private:
+    PhotodetectorParams params_;
+};
+
+/** TIA + limiting amplifier chain parameters. */
+struct TiaParams
+{
+    double gain_v_per_a = 15000.0;     //!< transimpedance gain
+    double bandwidth_hz = 36e9;        //!< -3 dB bandwidth of the chain
+    /** Input-referred noise current density [A/sqrt(Hz)]. */
+    double input_noise_a_per_sqrt_hz = 22e-12;
+    double input_resistance_ohm = 50.0; //!< effective input resistance
+    double power_w = 4.2e-3;            //!< receiver power (always on)
+};
+
+/** Transimpedance + limiting amplifier chain. */
+class Tia
+{
+  public:
+    explicit Tia(const TiaParams &params = TiaParams{});
+
+    const TiaParams &params() const { return params_; }
+
+    /** Output voltage swing [V] for an input current swing [A]. */
+    double outputSwing(double current_swing_a) const;
+
+    /** Integrated RMS input-referred noise current [A]. */
+    double inputNoise() const;
+
+    /** 10-90% rise time [s] of the chain, 0.35 / BW. */
+    double riseTime() const;
+
+  private:
+    TiaParams params_;
+};
+
+} // namespace fsoi::photonics
+
+#endif // FSOI_PHOTONICS_RECEIVER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit helpers for the photonics models (dB / linear conversions and a
+ * few physical constants).
+ */
+
+#ifndef FSOI_PHOTONICS_UNITS_HH
+#define FSOI_PHOTONICS_UNITS_HH
+
+#include <cmath>
+
+namespace fsoi::photonics {
+
+/** Electron charge [C]. */
+inline constexpr double kElectronCharge = 1.602176634e-19;
+
+/** Boltzmann constant [J/K]. */
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/** Speed of light in vacuum [m/s]. */
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+
+/** Planck constant [J*s]. */
+inline constexpr double kPlanck = 6.62607015e-34;
+
+/** Power ratio -> decibels. */
+inline double
+toDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+/** Decibels -> power ratio. */
+inline double
+fromDb(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/** Power in watts -> dBm. */
+inline double
+wattsToDbm(double watts)
+{
+    return toDb(watts / 1e-3);
+}
+
+/** dBm -> power in watts. */
+inline double
+dbmToWatts(double dbm)
+{
+    return 1e-3 * fromDb(dbm);
+}
+
+} // namespace fsoi::photonics
+
+#endif // FSOI_PHOTONICS_UNITS_HH

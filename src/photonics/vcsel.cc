@@ -1,0 +1,86 @@
+#include "photonics/vcsel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fsoi::photonics {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Vcsel::Vcsel(const VcselParams &params)
+    : params_(params)
+{
+    FSOI_ASSERT(params_.threshold_a > 0.0);
+    FSOI_ASSERT(params_.slope_efficiency_w_per_a > 0.0);
+    FSOI_ASSERT(params_.parasitic_r_ohm > 0.0 && params_.parasitic_c_f > 0.0);
+}
+
+double
+Vcsel::opticalPower(double current_a) const
+{
+    if (current_a <= params_.threshold_a)
+        return 0.0;
+    return params_.slope_efficiency_w_per_a
+        * (current_a - params_.threshold_a);
+}
+
+double
+Vcsel::electricalPower(double current_a) const
+{
+    // Forward drop plus the parasitic series resistance dissipation.
+    return params_.forward_voltage_v * current_a
+        + current_a * current_a * params_.parasitic_r_ohm;
+}
+
+double
+Vcsel::parasiticBandwidth() const
+{
+    return 1.0 / (2.0 * kPi * params_.parasitic_r_ohm * params_.parasitic_c_f);
+}
+
+double
+Vcsel::relaxationFrequency(double bias_a) const
+{
+    const double overdrive_ma = std::max(
+        0.0, (bias_a - params_.threshold_a) * 1e3);
+    return params_.d_factor_ghz_per_sqrt_ma * std::sqrt(overdrive_ma) * 1e9;
+}
+
+double
+Vcsel::modulationBandwidth(double bias_a) const
+{
+    return std::min(parasiticBandwidth(), relaxationFrequency(bias_a));
+}
+
+Vcsel::OokPoint
+Vcsel::ookPoint(double average_current_a, double extinction_ratio) const
+{
+    FSOI_ASSERT(extinction_ratio > 1.0);
+    FSOI_ASSERT(average_current_a > params_.threshold_a,
+                "average drive %.3f mA below threshold %.3f mA",
+                average_current_a * 1e3, params_.threshold_a * 1e3);
+
+    // With equiprobable bits, I_avg = (I1 + I0) / 2, and the optical
+    // extinction P1/P0 = (I1 - Ith) / (I0 - Ith). Solve for I0, I1.
+    const double ith = params_.threshold_a;
+    const double i0 =
+        ith + 2.0 * (average_current_a - ith) / (extinction_ratio + 1.0);
+    const double i1 = 2.0 * average_current_a - i0;
+
+    OokPoint pt;
+    pt.current_zero_a = i0;
+    pt.current_one_a = i1;
+    pt.power_zero_w = opticalPower(i0);
+    pt.power_one_w = opticalPower(i1);
+    pt.average_power_w = 0.5 * (pt.power_zero_w + pt.power_one_w);
+    pt.extinction_ratio =
+        pt.power_zero_w > 0.0 ? pt.power_one_w / pt.power_zero_w
+                              : extinction_ratio;
+    return pt;
+}
+
+} // namespace fsoi::photonics

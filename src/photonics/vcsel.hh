@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Vertical-cavity surface-emitting laser (VCSEL) model.
+ *
+ * Captures the pieces of VCSEL behaviour the interconnect study needs:
+ * the L-I transfer curve (threshold + slope efficiency), electrical power
+ * draw, the parasitic-RC and relaxation-oscillation bandwidth limits, and
+ * the on-off-keying optical swing for a given bias/modulation current.
+ *
+ * Default parameters follow Table 1 of the paper: 5 um aperture, 0.14 mA
+ * threshold, 235 ohm / 90 fF parasitics, 980 nm back-emission through the
+ * GaAs substrate, ~2 V forward drop, 11:1 extinction ratio at the
+ * operating point.
+ */
+
+#ifndef FSOI_PHOTONICS_VCSEL_HH
+#define FSOI_PHOTONICS_VCSEL_HH
+
+namespace fsoi::photonics {
+
+/** Static device parameters of a VCSEL. */
+struct VcselParams
+{
+    double wavelength_m = 980e-9;      //!< emission wavelength
+    double aperture_m = 5e-6;          //!< oxide aperture diameter
+    double threshold_a = 0.14e-3;      //!< threshold current I_th
+    double slope_efficiency_w_per_a = 0.35; //!< dP_opt/dI above threshold
+    double forward_voltage_v = 2.0;    //!< forward drop at bias
+    double parasitic_r_ohm = 235.0;    //!< series resistance
+    double parasitic_c_f = 90e-15;     //!< pad + junction capacitance
+    /** Relaxation-oscillation D-factor [GHz/sqrt(mA)], typical 980 nm. */
+    double d_factor_ghz_per_sqrt_ma = 9.0;
+};
+
+/** A directly-modulated VCSEL operated with on-off keying. */
+class Vcsel
+{
+  public:
+    explicit Vcsel(const VcselParams &params = VcselParams{});
+
+    const VcselParams &params() const { return params_; }
+
+    /** Optical output power [W] at drive current @p current_a. */
+    double opticalPower(double current_a) const;
+
+    /** Electrical power draw [W] at drive current @p current_a. */
+    double electricalPower(double current_a) const;
+
+    /** Parasitic-RC-limited 3 dB bandwidth [Hz]. */
+    double parasiticBandwidth() const;
+
+    /**
+     * Relaxation-oscillation frequency [Hz] at the given bias, using the
+     * D-factor approximation f_r = D * sqrt(I - I_th).
+     */
+    double relaxationFrequency(double bias_a) const;
+
+    /** Overall modulation 3 dB bandwidth [Hz] (min of the two limits). */
+    double modulationBandwidth(double bias_a) const;
+
+    /**
+     * OOK operating point derived from an average drive current and a
+     * target extinction ratio P1/P0.
+     */
+    struct OokPoint
+    {
+        double current_one_a;    //!< drive current for a '1'
+        double current_zero_a;   //!< drive current for a '0'
+        double power_one_w;      //!< optical power for a '1'
+        double power_zero_w;     //!< optical power for a '0'
+        double average_power_w;  //!< optical average (equiprobable bits)
+        double extinction_ratio; //!< P1 / P0 actually achieved
+    };
+
+    /**
+     * Compute the OOK point for a given average current and extinction
+     * ratio target. The '0' level is kept at or above threshold so the
+     * laser never fully turns off (avoids turn-on delay).
+     */
+    OokPoint ookPoint(double average_current_a,
+                      double extinction_ratio) const;
+
+  private:
+    VcselParams params_;
+};
+
+} // namespace fsoi::photonics
+
+#endif // FSOI_PHOTONICS_VCSEL_HH

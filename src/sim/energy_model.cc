@@ -1,0 +1,67 @@
+#include "sim/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace fsoi::sim {
+
+namespace {
+constexpr double kPj = 1e-12;
+constexpr double kNj = 1e-9;
+constexpr double kMw = 1e-3;
+} // namespace
+
+double
+EnergyReport::averagePower(std::uint64_t cycles, double freq_hz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds = static_cast<double>(cycles) / freq_hz;
+    return total() / seconds;
+}
+
+EnergyReport
+computeEnergy(const EnergyParams &params, const ActivitySummary &activity)
+{
+    FSOI_ASSERT(activity.cycles > 0 && activity.nodes > 0);
+    EnergyReport report;
+    const double seconds =
+        static_cast<double>(activity.cycles) / params.freq_hz;
+
+    report.core_j = activity.active_cycles * params.core_active_pj * kPj
+        + activity.stall_cycles * params.core_idle_pj * kPj;
+    report.cache_j = activity.l1_accesses * params.l1_access_pj * kPj
+        + activity.l2_accesses * params.l2_access_pj * kPj;
+    report.memory_j = activity.mem_accesses * params.mem_access_nj * kNj;
+    report.leakage_j =
+        activity.nodes * params.leakage_w_per_node * seconds;
+
+    if (activity.mesh) {
+        const auto &mesh = *activity.mesh;
+        report.network_j =
+            mesh.buffer_writes.value() * params.buffer_write_pj * kPj
+            + mesh.buffer_reads.value() * params.buffer_read_pj * kPj
+            + mesh.crossbar_traversals.value() * params.crossbar_pj * kPj
+            + mesh.arbitrations.value() * params.arbitration_pj * kPj
+            + mesh.link_traversals.value() * params.link_pj * kPj
+            + activity.routers * params.router_static_w * seconds;
+    } else if (activity.fsoi) {
+        const auto &fsoi = *activity.fsoi;
+        // Lasing energy: per VCSEL-cycle of active transmission the
+        // driver + VCSEL draw vcsel_drive_mw.
+        const double lase_j = fsoi.vcsel_slot_cycles.value()
+            * params.vcsel_drive_mw * kMw / params.freq_hz;
+        const double rx_j = activity.nodes
+            * activity.fsoi_rx_bits_per_node * params.rx_mw_per_bit * kMw
+            * seconds;
+        const double standby_j = activity.nodes
+            * activity.fsoi_vcsels_per_node * params.tx_standby_mw * kMw
+            * seconds;
+        const double ctrl_j =
+            fsoi.control_bits.value() * params.control_bit_pj * kPj;
+        report.network_j = lase_j + rx_j + standby_j + ctrl_j;
+    }
+
+    return report;
+}
+
+} // namespace fsoi::sim

@@ -1,0 +1,439 @@
+#include "sim/system.hh"
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace fsoi::sim {
+
+using coherence::Message;
+using coherence::MsgType;
+using noc::Packet;
+using noc::PacketClass;
+
+const char *
+netKindName(NetKind kind)
+{
+    switch (kind) {
+      case NetKind::Mesh: return "mesh";
+      case NetKind::L0: return "L0";
+      case NetKind::Lr1: return "Lr1";
+      case NetKind::Lr2: return "Lr2";
+      case NetKind::Fsoi: return "FSOI";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::paperConfig(int cores, NetKind kind)
+{
+    SystemConfig cfg;
+    cfg.num_cores = cores;
+    cfg.num_memctls = cores <= 16 ? 4 : 8;
+    cfg.network = kind;
+    if (cores > 16)
+        cfg.fsoi.phase_array = true;
+    if (kind == NetKind::Fsoi) {
+        cfg.opt_confirmation_ack = true;
+        cfg.opt_sync_subscription = true;
+        cfg.opt_data_collision = true;
+    }
+    return cfg;
+}
+
+/** Transport gluing controllers to the network / local short-circuit. */
+class System::LocalTransport : public coherence::Transport
+{
+  public:
+    explicit LocalTransport(System &sys) : sys_(sys) {}
+
+    bool
+    trySend(NodeId src, NodeId dst, const Message &msg) override
+    {
+        if (src == dst) {
+            sys_.localQueue_.push_back(LocalMsg{
+                sys_.now_
+                    + static_cast<Cycle>(sys_.config_.local_hop_latency),
+                dst, msg});
+            return true;
+        }
+        const PacketClass cls = coherence::isDataMessage(msg.type)
+            ? PacketClass::Data : PacketClass::Meta;
+        if (!sys_.network_->canAccept(src, cls)) {
+            if (traceEnabled() && msg.line == 0xf1000180
+                && msg.type == MsgType::InvAck)
+                std::fprintf(stderr, "[send] InvAck from=%u BLOCKED\n",
+                             src);
+            return false;
+        }
+        if (traceEnabled() && msg.line == 0xf1000180
+            && msg.type == MsgType::InvAck)
+            std::fprintf(stderr, "[send] InvAck from=%u -> %u accepted\n",
+                         src, dst);
+        Packet pkt = noc::makePacket(
+            src, dst, cls, coherence::packetKindOf(msg.type),
+            std::make_shared<Message>(msg));
+        return sys_.network_->send(std::move(pkt));
+    }
+
+  private:
+    System &sys_;
+};
+
+System::System(const SystemConfig &config)
+    : config_(config), layout_(config.num_cores, config.num_memctls)
+{
+    // Derive dependent parameters.
+    config_.mem.bytes_per_cycle = config_.mem_gbytes_per_sec
+        / config_.num_memctls / config_.freq_ghz;
+
+    const bool is_fsoi = config_.network == NetKind::Fsoi;
+    if (!is_fsoi
+        && (config_.opt_confirmation_ack || config_.opt_sync_subscription
+            || config_.opt_data_collision)) {
+        fatal("FSOI optimizations enabled on a %s interconnect",
+              netKindName(config_.network));
+    }
+    // Home interleaving consumes the low line-address bits; the L2
+    // slices must index their sets with the bits above them.
+    config_.dir.geometry.index_skip_bits =
+        static_cast<std::uint32_t>(std::bit_width(
+            static_cast<unsigned>(config_.num_cores) - 1));
+    config_.dir.geometry.hash_index = true;
+
+    config_.l1.confirmation_acks = config_.opt_confirmation_ack;
+    config_.dir.confirmation_acks = config_.opt_confirmation_ack;
+    config_.dir.confirmation_gating = is_fsoi;
+    config_.dir.sync_subscription = config_.opt_sync_subscription;
+    config_.core.sync_subscription = config_.opt_sync_subscription;
+    config_.core.seed = config_.seed;
+    config_.fsoi.request_spacing = config_.opt_data_collision;
+    config_.fsoi.collision_hints = config_.opt_data_collision;
+    config_.fsoi.seed = config_.seed * 0x9e3779b9ULL + 17;
+
+    switch (config_.network) {
+      case NetKind::Mesh:
+        network_ = std::make_unique<noc::MeshNetwork>(layout_,
+                                                      config_.mesh);
+        meshNet_ = static_cast<noc::MeshNetwork *>(network_.get());
+        break;
+      case NetKind::L0:
+        network_ = std::make_unique<noc::IdealNetwork>(
+            layout_, noc::makeL0Config());
+        break;
+      case NetKind::Lr1:
+        network_ = std::make_unique<noc::IdealNetwork>(
+            layout_, noc::makeLr1Config());
+        break;
+      case NetKind::Lr2:
+        network_ = std::make_unique<noc::IdealNetwork>(
+            layout_, noc::makeLr2Config());
+        break;
+      case NetKind::Fsoi:
+        network_ = std::make_unique<fsoi::FsoiNetwork>(layout_,
+                                                       config_.fsoi);
+        fsoiNet_ = static_cast<fsoi::FsoiNetwork *>(network_.get());
+        break;
+    }
+
+    transport_ = std::make_unique<LocalTransport>(*this);
+
+    auto home_fn = [this](Addr addr) { return homeOf(addr); };
+    auto memctl_fn = [this](Addr addr) { return memctlOf(addr); };
+
+    for (int n = 0; n < config_.num_cores; ++n) {
+        const NodeId node = static_cast<NodeId>(n);
+        l1s_.push_back(std::make_unique<coherence::L1Cache>(
+            node, config_.l1, *transport_, funcMem_, home_fn));
+        dirs_.push_back(std::make_unique<coherence::Directory>(
+            node, config_.dir, *transport_, funcMem_, memctl_fn));
+        cores_.push_back(std::make_unique<cpu::Core>(
+            node, config_.core, *l1s_.back(), *transport_, home_fn));
+    }
+    for (int m = 0; m < config_.num_memctls; ++m) {
+        const NodeId node = static_cast<NodeId>(config_.num_cores + m);
+        memctls_.push_back(std::make_unique<memory::MemoryController>(
+            node, config_.mem, *transport_));
+    }
+
+    wireNetworkHandlers();
+}
+
+System::~System() = default;
+
+NodeId
+System::homeOf(Addr addr) const
+{
+    const Addr line = addr / config_.l1.geometry.line_bytes;
+    return static_cast<NodeId>(line % config_.num_cores);
+}
+
+NodeId
+System::memctlOf(Addr addr) const
+{
+    const Addr line = addr / config_.l1.geometry.line_bytes;
+    return static_cast<NodeId>(config_.num_cores
+                               + line % config_.num_memctls);
+}
+
+void
+System::routeMessage(NodeId dst, const Message &msg)
+{
+    if (static_cast<int>(dst) >= config_.num_cores) {
+        memctls_[dst - config_.num_cores]->handleMessage(msg);
+        return;
+    }
+    switch (msg.type) {
+      case MsgType::ReqSh:
+      case MsgType::ReqEx:
+      case MsgType::ReqUpg:
+      case MsgType::SyncLl:
+      case MsgType::SyncSc:
+      case MsgType::WriteBack:
+      case MsgType::InvAck:
+      case MsgType::InvAckData:
+        if (traceEnabled())
+            std::fprintf(stderr, "[route] %s line=%llx from=%u to dir %u\n",
+                         msgTypeName(msg.type),
+                         (unsigned long long)msg.line, msg.requester, dst);
+        [[fallthrough]];
+      case MsgType::DwgAck:
+      case MsgType::DwgAckData:
+      case MsgType::MemReply:
+        dirs_[dst]->handleMessage(msg);
+        return;
+      case MsgType::DataS:
+      case MsgType::DataE:
+      case MsgType::DataM:
+      case MsgType::ExcAck:
+      case MsgType::Inv:
+      case MsgType::Dwg:
+      case MsgType::Nack:
+        l1s_[dst]->handleMessage(msg);
+        return;
+      default:
+        panic("unroutable message %s to node %u",
+              msgTypeName(msg.type), dst);
+    }
+}
+
+void
+System::wireNetworkHandlers()
+{
+    for (int ep = 0; ep < layout_.numEndpoints(); ++ep) {
+        const NodeId node = static_cast<NodeId>(ep);
+        network_->setHandler(node, [this, node](Packet &pkt) {
+            routeMessage(node, *pkt.payloadAs<Message>());
+        });
+    }
+    if (!fsoiNet_)
+        return;
+    for (int n = 0; n < config_.num_cores; ++n) {
+        const NodeId node = static_cast<NodeId>(n);
+        // Confirmations go back to the *sender*; only the directory
+        // cares (per-line gating + confirmation-as-ack).
+        fsoiNet_->setConfirmHandler(node, [this, node](const Packet &pkt) {
+            dirs_[node]->onConfirm(*pkt.payloadAs<Message>());
+        });
+        fsoiNet_->setControlBitHandler(
+            node, [this, node](NodeId, std::uint64_t tag) {
+                cores_[node]->onControlBit(tag);
+            });
+        dirs_[n]->setControlBitSender(
+            [this, node](NodeId dst, std::uint64_t tag) {
+                fsoiNet_->sendControlBit(node, dst, tag);
+            });
+    }
+    for (int m = 0; m < config_.num_memctls; ++m) {
+        const NodeId node = static_cast<NodeId>(config_.num_cores + m);
+        fsoiNet_->setConfirmHandler(node, [](const Packet &) {});
+        fsoiNet_->setControlBitHandler(node,
+                                       [](NodeId, std::uint64_t) {});
+    }
+}
+
+void
+System::loadApp(const workload::AppProfile &profile)
+{
+    for (int n = 0; n < config_.num_cores; ++n) {
+        cores_[n]->bind(workload::makeAppStream(
+            profile, n, config_.num_cores, config_.seed));
+    }
+}
+
+void
+System::bindStream(NodeId core,
+                   std::unique_ptr<workload::InstrStream> stream)
+{
+    cores_.at(core)->bind(std::move(stream));
+}
+
+bool
+System::quiescent() const
+{
+    if (!network_->idle() || !localQueue_.empty())
+        return false;
+    for (const auto &l1 : l1s_)
+        if (!l1->quiescent())
+            return false;
+    for (const auto &dir : dirs_)
+        if (!dir->quiescent())
+            return false;
+    for (const auto &mem : memctls_)
+        if (!mem->quiescent())
+            return false;
+    return true;
+}
+
+RunResult
+System::run()
+{
+    std::uint64_t last_progress_instr = 0;
+    Cycle last_progress_cycle = 0;
+    bool completed = false;
+
+    for (now_ = 0; now_ < config_.max_cycles; ++now_) {
+        network_->tick(now_);
+
+        while (!localQueue_.empty() && localQueue_.front().due <= now_) {
+            LocalMsg msg = std::move(localQueue_.front());
+            localQueue_.pop_front();
+            routeMessage(msg.dst, msg.msg);
+        }
+
+        for (auto &mem : memctls_)
+            mem->tick(now_);
+        for (auto &dir : dirs_)
+            dir->tick(now_);
+        for (auto &l1 : l1s_)
+            l1->tick(now_);
+        for (auto &core : cores_)
+            core->tick(now_);
+
+        if ((now_ & 0x1F) != 0)
+            continue;
+
+        bool all_done = true;
+        for (const auto &core : cores_)
+            all_done &= core->done();
+        if (all_done && quiescent()) {
+            completed = true;
+            break;
+        }
+
+        if ((now_ & 0x3FFF) == 0) {
+            std::uint64_t instr = 0;
+            for (const auto &core : cores_)
+                instr += core->stats().instructions.value();
+            if (instr != last_progress_instr) {
+                last_progress_instr = instr;
+                last_progress_cycle = now_;
+            } else if (now_ - last_progress_cycle > 2'000'000) {
+                std::size_t misses = 0, txns = 0;
+                for (const auto &core : cores_) {
+                    if (!core->done())
+                        core->debugDump();
+                }
+                for (const auto &l1 : l1s_) {
+                    if (!l1->quiescent())
+                        l1->debugDump();
+                    misses += l1->outstandingMisses();
+                }
+                for (const auto &dir : dirs_) {
+                    if (!dir->quiescent())
+                        dir->debugDump();
+                    txns += dir->quiescent() ? 0 : 1;
+                }
+                if (meshNet_ && !meshNet_->idle())
+                    meshNet_->debugDump();
+                panic("no forward progress for %llu cycles at cycle %llu "
+                      "(%zu outstanding misses, %zu busy directories, "
+                      "network %s)",
+                      static_cast<unsigned long long>(
+                          now_ - last_progress_cycle),
+                      static_cast<unsigned long long>(now_), misses, txns,
+                      network_->idle() ? "idle" : "busy");
+            }
+        }
+    }
+
+    if (!completed)
+        warn("run hit max_cycles=%llu before completing",
+             static_cast<unsigned long long>(config_.max_cycles));
+    return collectResult(now_, completed);
+}
+
+RunResult
+System::collectResult(Cycle cycles, bool completed) const
+{
+    RunResult res;
+    res.completed = completed;
+    res.cycles = std::max<Cycle>(cycles, 1);
+
+    const auto &net_stats = network_->stats();
+    res.avg_packet_latency = net_stats.totalLatency().mean();
+    res.queuing = net_stats.queuing().mean();
+    res.scheduling = net_stats.scheduling().mean();
+    res.network = net_stats.network().mean();
+    res.collision_resolution = net_stats.collisionResolution().mean();
+    res.packets_delivered = net_stats.deliveredTotal();
+    res.meta_collision_rate = net_stats.collisionRate(PacketClass::Meta);
+    res.data_collision_rate = net_stats.collisionRate(PacketClass::Data);
+
+    ActivitySummary activity;
+    activity.cycles = res.cycles;
+    activity.nodes = config_.num_cores;
+
+    std::uint64_t loads = 0, stores = 0, misses = 0;
+    for (const auto &l1 : l1s_) {
+        const auto &s = l1->stats();
+        loads += s.loads.value();
+        stores += s.stores.value();
+        misses += s.misses.value();
+        activity.l1_accesses += s.l1_accesses.value();
+        res.invalidations += s.invalidations_received.value();
+    }
+    res.l1_miss_rate =
+        loads + stores ? static_cast<double>(misses) / (loads + stores)
+                       : 0.0;
+
+    for (const auto &core : cores_) {
+        res.instructions += core->stats().instructions.value();
+        activity.active_cycles += core->stats().active_cycles.value();
+        activity.stall_cycles += core->stats().stall_cycles.value();
+        res.sync_packets += core->stats().sync_packets.value();
+    }
+    res.ipc = static_cast<double>(res.instructions) / res.cycles;
+
+    for (const auto &dir : dirs_)
+        activity.l2_accesses += dir->stats().l2_accesses.value();
+    for (const auto &mem : memctls_) {
+        activity.mem_accesses +=
+            mem->stats().reads.value() + mem->stats().writes.value();
+    }
+
+    if (meshNet_) {
+        activity.mesh = &meshNet_->activity();
+        activity.routers = layout_.side() * layout_.side();
+    } else if (fsoiNet_) {
+        activity.fsoi = &fsoiNet_->activity();
+        res.meta_tx_probability =
+            fsoiNet_->transmissionProbability(PacketClass::Meta);
+        for (int c = 0; c < 5; ++c) {
+            res.data_collisions_by_cat[c] = fsoiNet_->dataCollisionEvents(
+                static_cast<fsoi::CollisionCategory>(c));
+        }
+        res.data_resolution_delay = fsoiNet_->meanDataResolutionDelay();
+        res.control_bits = fsoiNet_->activity().control_bits.value();
+    }
+    res.energy = computeEnergy(config_.energy, activity);
+    res.avg_power_w = res.energy.averagePower(
+        res.cycles, config_.energy.freq_hz);
+    return res;
+}
+
+} // namespace fsoi::sim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Top-level chip-multiprocessor assembly: N cores with private L1s, a
+ * distributed shared L2 with directory slices (one per tile), memory
+ * controllers, and one of five interconnects (mesh baseline, L0 / Lr1 /
+ * Lr2 ideals, or the free-space optical interconnect), all advanced in
+ * lock-step one core cycle at a time.
+ *
+ * This is the library's main entry point: configure a SystemConfig,
+ * pick an application profile (or bind custom instruction streams),
+ * call run(), and read the RunResult.
+ */
+
+#ifndef FSOI_SIM_SYSTEM_HH
+#define FSOI_SIM_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/functional_memory.hh"
+#include "coherence/l1_cache.hh"
+#include "coherence/transport.hh"
+#include "cpu/core.hh"
+#include "fsoi/fsoi_network.hh"
+#include "memory/memory_controller.hh"
+#include "noc/ideal_network.hh"
+#include "noc/mesh_network.hh"
+#include "sim/energy_model.hh"
+#include "workload/apps.hh"
+
+namespace fsoi::sim {
+
+/** Which interconnect the system uses. */
+enum class NetKind : std::uint8_t { Mesh, L0, Lr1, Lr2, Fsoi };
+
+const char *netKindName(NetKind kind);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    int num_cores = 16;
+    int num_memctls = 4;
+    NetKind network = NetKind::Mesh;
+
+    noc::MeshConfig mesh;
+    fsoi::FsoiConfig fsoi;
+    coherence::L1Config l1;
+    coherence::DirConfig dir;
+    memory::MemConfig mem;          //!< bytes_per_cycle derived below
+    cpu::CoreConfig core;
+    EnergyParams energy;
+
+    double mem_gbytes_per_sec = 8.8; //!< aggregate off-chip bandwidth
+    double freq_ghz = 3.3;
+
+    /** FSOI Section 5.1: confirmations substitute invalidation acks. */
+    bool opt_confirmation_ack = false;
+    /** FSOI Section 5.1: ll/sc boolean subscription over mini-slots. */
+    bool opt_sync_subscription = false;
+    /** FSOI Section 5.2: request spacing + collision hints. */
+    bool opt_data_collision = false;
+
+    std::uint64_t seed = 1;
+    Cycle max_cycles = 100'000'000;
+    int local_hop_latency = 1; //!< L1 <-> same-tile directory
+
+    /** Paper defaults for a given scale (16 or 64 cores). */
+    static SystemConfig paperConfig(int cores, NetKind kind);
+};
+
+/** Everything a finished run reports. */
+struct RunResult
+{
+    bool completed = false; //!< finished before max_cycles
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    // Network latency breakdown (Figure 6a components), in cycles.
+    double avg_packet_latency = 0.0;
+    double queuing = 0.0;
+    double scheduling = 0.0;
+    double network = 0.0;
+    double collision_resolution = 0.0;
+
+    std::uint64_t packets_delivered = 0;
+    double meta_collision_rate = 0.0;
+    double data_collision_rate = 0.0;
+    double meta_tx_probability = 0.0; //!< per node per slot (Figure 9)
+    std::uint64_t data_collisions_by_cat[5] = {0, 0, 0, 0, 0};
+    double data_resolution_delay = 0.0;
+
+    double l1_miss_rate = 0.0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t sync_packets = 0;
+    std::uint64_t control_bits = 0;
+
+    EnergyReport energy;
+    double avg_power_w = 0.0;
+};
+
+/** A fully assembled simulated CMP. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Bind every core to one thread of the given application. */
+    void loadApp(const workload::AppProfile &profile);
+
+    /** Bind a custom stream to one core (alternative to loadApp). */
+    void bindStream(NodeId core,
+                    std::unique_ptr<workload::InstrStream> stream);
+
+    /** Run to completion (all threads done, system drained). */
+    RunResult run();
+
+    // --- component access (tests, benches) ---
+    const SystemConfig &config() const { return config_; }
+    noc::Network &network() { return *network_; }
+    coherence::L1Cache &l1(NodeId node) { return *l1s_.at(node); }
+    coherence::Directory &directory(NodeId node) { return *dirs_.at(node); }
+    cpu::Core &core(NodeId node) { return *cores_.at(node); }
+    memory::MemoryController &memctl(int i) { return *memctls_.at(i); }
+    fsoi::FsoiNetwork *fsoiNetwork() { return fsoiNet_; }
+    noc::MeshNetwork *meshNetwork() { return meshNet_; }
+    const noc::MeshLayout &layout() const { return layout_; }
+
+    /** Home directory node of a line address. */
+    NodeId homeOf(Addr addr) const;
+    /** Memory controller endpoint for a line address. */
+    NodeId memctlOf(Addr addr) const;
+
+  private:
+    class LocalTransport;
+    friend class LocalTransport;
+
+    struct LocalMsg
+    {
+        Cycle due;
+        NodeId dst;
+        coherence::Message msg;
+    };
+
+    void routeMessage(NodeId dst, const coherence::Message &msg);
+    void wireNetworkHandlers();
+    bool quiescent() const;
+    RunResult collectResult(Cycle cycles, bool completed) const;
+
+    SystemConfig config_;
+    noc::MeshLayout layout_;
+    coherence::FunctionalMemory funcMem_;
+
+    std::unique_ptr<noc::Network> network_;
+    fsoi::FsoiNetwork *fsoiNet_ = nullptr; //!< non-owning view
+    noc::MeshNetwork *meshNet_ = nullptr;  //!< non-owning view
+
+    std::unique_ptr<LocalTransport> transport_;
+    std::vector<std::unique_ptr<coherence::L1Cache>> l1s_;
+    std::vector<std::unique_ptr<coherence::Directory>> dirs_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<memory::MemoryController>> memctls_;
+
+    std::deque<LocalMsg> localQueue_;
+    Cycle now_ = 0;
+};
+
+} // namespace fsoi::sim
+
+#endif // FSOI_SIM_SYSTEM_HH

@@ -1,0 +1,107 @@
+#include "workload/traffic.hh"
+
+#include "common/logging.hh"
+
+namespace fsoi::workload {
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom: return "uniform";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::Transpose: return "transpose";
+      case TrafficPattern::Neighbor: return "neighbor";
+    }
+    return "?";
+}
+
+TrafficGenerator::TrafficGenerator(noc::Network &network,
+                                   const TrafficConfig &config,
+                                   int mesh_side)
+    : network_(network), config_(config), side_(mesh_side),
+      active_(config.active_endpoints > 0
+                  ? config.active_endpoints
+                  : network.numEndpoints()),
+      rng_(config.seed)
+{
+    FSOI_ASSERT(active_ > 1 && active_ <= network.numEndpoints());
+    FSOI_ASSERT(config_.injection_rate >= 0.0
+                && config_.injection_rate <= 1.0);
+}
+
+NodeId
+TrafficGenerator::pickDestination(NodeId src)
+{
+    switch (config_.pattern) {
+      case TrafficPattern::Hotspot:
+        if (src != config_.hotspot
+            && rng_.nextBool(config_.hotspot_fraction))
+            return config_.hotspot;
+        [[fallthrough]];
+      case TrafficPattern::UniformRandom: {
+        NodeId dst = static_cast<NodeId>(rng_.nextBelow(active_ - 1));
+        if (dst >= src)
+            ++dst;
+        return dst;
+      }
+      case TrafficPattern::Transpose: {
+        const int x = src % side_;
+        const int y = (src / side_) % side_;
+        const NodeId dst = static_cast<NodeId>(x * side_ + y);
+        if (dst == src || static_cast<int>(dst) >= active_)
+            return (src + 1) % active_;
+        return dst;
+      }
+      case TrafficPattern::Neighbor:
+        return (src + 1) % active_;
+    }
+    return (src + 1) % active_;
+}
+
+void
+TrafficGenerator::inject(Cycle now)
+{
+    (void)now;
+    for (NodeId src = 0; src < static_cast<NodeId>(active_); ++src) {
+        if (!rng_.nextBool(config_.injection_rate))
+            continue;
+        const noc::PacketClass cls = rng_.nextBool(config_.data_fraction)
+            ? noc::PacketClass::Data : noc::PacketClass::Meta;
+        const NodeId dst = pickDestination(src);
+        ++offered_;
+        if (!network_.send(noc::makePacket(
+                src, dst, cls,
+                cls == noc::PacketClass::Data ? noc::PacketKind::Reply
+                                              : noc::PacketKind::Request)))
+            ++refused_;
+    }
+}
+
+TrafficResult
+TrafficGenerator::run(Cycle measure_cycles, Cycle max_drain)
+{
+    Cycle t = 0;
+    for (; t < measure_cycles; ++t) {
+        network_.tick(t);
+        inject(t);
+    }
+    const Cycle deadline = t + max_drain;
+    while (t < deadline && !network_.idle())
+        network_.tick(t++);
+    FSOI_ASSERT(network_.idle(), "traffic did not drain in %llu cycles",
+                static_cast<unsigned long long>(max_drain));
+
+    TrafficResult res;
+    res.offered = offered_;
+    res.refused = refused_;
+    res.delivered = network_.stats().deliveredTotal();
+    res.avg_latency = network_.stats().totalLatency().mean();
+    res.meta_collision_rate =
+        network_.stats().collisionRate(noc::PacketClass::Meta);
+    res.data_collision_rate =
+        network_.stats().collisionRate(noc::PacketClass::Data);
+    return res;
+}
+
+} // namespace fsoi::workload

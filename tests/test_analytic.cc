@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the analytic models: collision probability (Figure 3),
+ * exponential-backoff resolution delay (Figure 4), and the bandwidth
+ * allocation optimum (Section 4.3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analytic/backoff_model.hh"
+#include "analytic/bandwidth_alloc.hh"
+#include "analytic/collision_model.hh"
+
+namespace fsoi::analytic {
+namespace {
+
+TEST(CollisionModel, ZeroAtZeroLoad)
+{
+    EXPECT_DOUBLE_EQ(collisionProbability(16, 0.0, 2), 0.0);
+}
+
+TEST(CollisionModel, MonotonicInLoad)
+{
+    double prev = 0.0;
+    for (double p : {0.01, 0.05, 0.10, 0.20, 0.33}) {
+        const double c = collisionProbability(16, p, 2);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(CollisionModel, MoreReceiversFewerCollisions)
+{
+    for (double p : {0.05, 0.1, 0.2}) {
+        double prev = 1.0;
+        for (int r : {1, 2, 3}) {
+            // R=3 does not divide 15 evenly; the model still applies
+            // with fractional n.
+            const double c = collisionProbability(16, p, r);
+            EXPECT_LT(c, prev);
+            prev = c;
+        }
+    }
+}
+
+TEST(CollisionModel, FirstOrderInverseInReceivers)
+{
+    // Section 4.3.1: to first order, collision frequency is inversely
+    // proportional to the number of receivers.
+    const double c1 = collisionProbability(16, 0.05, 1);
+    const double c2 = collisionProbability(16, 0.05, 2);
+    EXPECT_NEAR(c1 / c2, 2.0, 0.25);
+}
+
+TEST(CollisionModel, WeakDependenceOnNodeCount)
+{
+    // The paper notes the result depends only weakly on N.
+    const double c16 = normalizedCollisionProbability(16, 0.10, 2);
+    const double c64 = normalizedCollisionProbability(64, 0.10, 2);
+    EXPECT_NEAR(c16, c64, 0.015);
+}
+
+/** Property: Monte Carlo agrees with the closed form. */
+class CollisionAgreement
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{};
+
+TEST_P(CollisionAgreement, MonteCarloMatchesTheory)
+{
+    const double p = std::get<0>(GetParam());
+    const int r = std::get<1>(GetParam());
+    const double theory = collisionProbability(16, p, r);
+    const auto mc = simulateCollisions(16, p, r, 40000, 1234);
+    EXPECT_NEAR(mc.node_collision_prob, theory,
+                0.15 * theory + 0.0015);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3Grid, CollisionAgreement,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.10, 0.20, 0.33),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(Backoff, PaperOperatingPoint)
+{
+    // W = 2.7, B = 1.1 resolves a two-party meta collision in ~7.3
+    // cycles (paper: computed 7.26, simulated 6.8-9.6, mean 7.4).
+    BackoffParams params;
+    const auto res = simulateBackoff(params, 20000, 99);
+    EXPECT_GT(res.mean_delay_cycles, 5.5);
+    EXPECT_LT(res.mean_delay_cycles, 9.5);
+}
+
+TEST(Backoff, DoublingIsOverCorrection)
+{
+    // B = 2 produces a decidedly higher common-case delay than B = 1.1
+    // (Figure 4's message).
+    BackoffParams gentle, aggressive;
+    aggressive.base = 2.0;
+    const auto g = simulateBackoff(gentle, 20000, 5);
+    const auto a = simulateBackoff(aggressive, 20000, 5);
+    EXPECT_LT(g.mean_delay_cycles, a.mean_delay_cycles);
+}
+
+TEST(Backoff, BackgroundRateHasSmallImpact)
+{
+    BackoffParams quiet, busy;
+    quiet.background_rate = 0.01;
+    busy.background_rate = 0.10;
+    const auto q = simulateBackoff(quiet, 20000, 7);
+    const auto b = simulateBackoff(busy, 20000, 7);
+    // G = 10% should cost only slightly more than G = 1% (Figure 4).
+    EXPECT_LT(b.mean_delay_cycles - q.mean_delay_cycles, 4.0);
+}
+
+TEST(Backoff, PathologicalCaseConverges)
+{
+    // 63 simultaneous senders (the paper's 64-node worst case): the
+    // exponential window must resolve it in bounded retries; B = 2
+    // resolves in fewer retries than B = 1.1.
+    BackoffParams slow, fast;
+    slow.initial_contenders = 63;
+    slow.background_rate = 0.0;
+    fast = slow;
+    fast.base = 2.0;
+    const auto s = simulateBackoff(slow, 30, 3);
+    const auto f = simulateBackoff(fast, 30, 3);
+    EXPECT_LT(f.mean_retries, s.mean_retries);
+    EXPECT_LT(s.mean_retries, 200.0); // converges, unlike fixed windows
+}
+
+TEST(Backoff, ApproximationTracksSimulation)
+{
+    BackoffParams params;
+    const double approx = approxResolutionDelay(params);
+    const auto sim = simulateBackoff(params, 20000, 21);
+    EXPECT_NEAR(approx, sim.mean_delay_cycles,
+                0.45 * sim.mean_delay_cycles);
+}
+
+/** Property: the Figure 4 surface has its valley near W=2.7, B=1.1. */
+class BackoffSurface
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(BackoffSurface, PaperPointNearOptimal)
+{
+    BackoffParams best;
+    BackoffParams other;
+    other.window = std::get<0>(GetParam());
+    other.base = std::get<1>(GetParam());
+    const auto b = simulateBackoff(best, 8000, 31);
+    const auto o = simulateBackoff(other, 8000, 31);
+    // No grid point should beat the paper's chosen point by much.
+    EXPECT_GT(o.mean_delay_cycles, b.mean_delay_cycles - 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4Grid, BackoffSurface,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 3.0, 4.0, 5.0),
+                       ::testing::Values(1.0, 1.25, 1.5, 2.0)));
+
+TEST(BandwidthAlloc, PaperOptimumNearQuarter)
+{
+    // Section 4.3.1: optimal meta share B_M ~= 0.285.
+    const double opt = optimalMetaShare(paperConstants());
+    EXPECT_NEAR(opt, 0.285, 0.01);
+}
+
+TEST(BandwidthAlloc, LatencyConvex)
+{
+    const auto c = paperConstants();
+    const double opt = optimalMetaShare(c);
+    const double at_opt = expectedLatency(c, opt);
+    for (double m : {0.05, 0.15, 0.5, 0.7, 0.9})
+        EXPECT_GE(expectedLatency(c, m), at_opt);
+}
+
+TEST(BandwidthAlloc, ExpectedPacketLatencyComposition)
+{
+    EXPECT_DOUBLE_EQ(expectedPacketLatency(5.0, 0.1, 20.0), 7.0);
+    EXPECT_DOUBLE_EQ(expectedPacketLatency(5.0, 0.0, 20.0), 5.0);
+}
+
+} // namespace
+} // namespace fsoi::analytic

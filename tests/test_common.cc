@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: RNG, statistics, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace fsoi {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (i == 0)
+            EXPECT_NE(va, c.next());
+        else
+            c.next();
+    }
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int bound : {1, 2, 3, 17, 1000}) {
+        for (int i = 0; i < 500; ++i) {
+            const auto v = rng.nextBelow(bound);
+            EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+        }
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextRange(3, 5));
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_TRUE(seen.count(3) && seen.count(4) && seen.count(5));
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Accumulator, Moments)
+{
+    Accumulator acc;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(10.0, 5); // bins [0,10) .. [40,50), overflow
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(49.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_EQ(geometricMean({}), 0.0);
+    // Non-positive entries are ignored.
+    EXPECT_NEAR(geometricMean({2.0, 8.0, 0.0, -1.0}), 4.0, 1e-12);
+}
+
+TEST(Counter, Accumulates)
+{
+    Counter c;
+    c++;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TextTable, RendersAligned)
+{
+    TextTable t({"a", "long_header"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("yyyy"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+}
+
+} // namespace
+} // namespace fsoi

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the photonics library: device models, free-space path, and
+ * the Table 1 link budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/free_space_path.hh"
+#include "photonics/link_budget.hh"
+#include "photonics/receiver.hh"
+#include "photonics/units.hh"
+#include "photonics/vcsel.hh"
+
+namespace fsoi::photonics {
+namespace {
+
+TEST(Units, DbRoundTrip)
+{
+    for (double db : {-10.0, -2.6, 0.0, 3.0, 20.0})
+        EXPECT_NEAR(toDb(fromDb(db)), db, 1e-9);
+    EXPECT_NEAR(wattsToDbm(1e-3), 0.0, 1e-9);
+    EXPECT_NEAR(dbmToWatts(10.0), 1e-2, 1e-12);
+}
+
+TEST(Vcsel, ThresholdBehaviour)
+{
+    Vcsel vcsel;
+    EXPECT_EQ(vcsel.opticalPower(0.0), 0.0);
+    EXPECT_EQ(vcsel.opticalPower(vcsel.params().threshold_a), 0.0);
+    EXPECT_GT(vcsel.opticalPower(2 * vcsel.params().threshold_a), 0.0);
+}
+
+TEST(Vcsel, LiCurveIsLinearAboveThreshold)
+{
+    Vcsel vcsel;
+    const double i1 = 0.5e-3, i2 = 1.0e-3;
+    const double p1 = vcsel.opticalPower(i1);
+    const double p2 = vcsel.opticalPower(i2);
+    const double ith = vcsel.params().threshold_a;
+    EXPECT_NEAR(p2 / p1, (i2 - ith) / (i1 - ith), 1e-9);
+}
+
+TEST(Vcsel, ElectricalPowerMatchesTable1)
+{
+    // Table 1: VCSEL 0.96 mW at 0.48 mA @ 2 V (plus small parasitic).
+    Vcsel vcsel;
+    const double p = vcsel.electricalPower(0.48e-3);
+    EXPECT_NEAR(p, 0.96e-3, 0.1e-3);
+}
+
+TEST(Vcsel, OokPointHitsExtinctionRatio)
+{
+    Vcsel vcsel;
+    const auto ook = vcsel.ookPoint(0.48e-3, 11.0);
+    EXPECT_NEAR(ook.extinction_ratio, 11.0, 1e-6);
+    EXPECT_NEAR(0.5 * (ook.current_one_a + ook.current_zero_a), 0.48e-3,
+                1e-9);
+    EXPECT_GT(ook.current_zero_a, vcsel.params().threshold_a);
+}
+
+TEST(Vcsel, BandwidthLimits)
+{
+    Vcsel vcsel;
+    // Parasitic RC limit: 1/(2 pi * 235 ohm * 90 fF) ~ 7.5 GHz... the
+    // driver equalizes past this; the model reports the raw pole.
+    EXPECT_NEAR(vcsel.parasiticBandwidth(), 7.5e9, 0.5e9);
+    EXPECT_GT(vcsel.relaxationFrequency(1.0e-3),
+              vcsel.relaxationFrequency(0.5e-3));
+}
+
+TEST(FreeSpacePath, Table1ReferenceLoss)
+{
+    // 2 cm diagonal, 90/190 um apertures, 980 nm -> ~2.6 dB.
+    FreeSpacePath path;
+    EXPECT_NEAR(path.pathLossDb(), 2.6, 0.5);
+}
+
+TEST(FreeSpacePath, LossMonotonicInDistance)
+{
+    double prev = 0.0;
+    for (double d : {0.005, 0.01, 0.02, 0.03}) {
+        PathParams params;
+        params.distance_m = d;
+        FreeSpacePath path(params);
+        EXPECT_GT(path.pathLossDb(), prev);
+        prev = path.pathLossDb();
+    }
+}
+
+TEST(FreeSpacePath, BiggerReceiverCapturesMore)
+{
+    PathParams small, big;
+    small.rx_aperture_m = 100e-6;
+    big.rx_aperture_m = 300e-6;
+    EXPECT_GT(FreeSpacePath(small).pathLossDb(),
+              FreeSpacePath(big).pathLossDb());
+}
+
+TEST(FreeSpacePath, PropagationDelayIsSpeedOfLight)
+{
+    FreeSpacePath path;
+    EXPECT_NEAR(path.propagationDelay(), 0.02 / 3e8, 1e-12);
+    // Less than a single 3.3 GHz cycle: the "speed of light" claim.
+    EXPECT_LT(path.propagationDelay(), 1.0 / 3.3e9);
+}
+
+TEST(Photodetector, ResponsivityAndNoise)
+{
+    Photodetector pd;
+    EXPECT_NEAR(pd.photocurrent(100e-6), 50e-6, 1e-9);
+    const double shot = pd.shotNoise(50e-6, 36e9);
+    EXPECT_GT(shot, 0.0);
+    EXPECT_LT(shot, 1e-5);
+    EXPECT_GT(pd.shotNoise(100e-6, 36e9), shot);
+}
+
+TEST(Tia, GainAndRiseTime)
+{
+    Tia tia;
+    EXPECT_NEAR(tia.outputSwing(50e-6), 0.75, 1e-9); // 15 kV/A * 50 uA
+    EXPECT_NEAR(tia.riseTime(), 0.35 / 36e9, 1e-15);
+}
+
+TEST(LinkBudget, QToBerInversion)
+{
+    for (double ber : {1e-5, 1e-10, 1e-12}) {
+        const double q = OpticalLink::berToQ(ber);
+        EXPECT_NEAR(std::log10(OpticalLink::qToBer(q)), std::log10(ber),
+                    1e-6);
+    }
+    // Classic anchor: BER 1e-10 needs Q ~ 6.36.
+    EXPECT_NEAR(OpticalLink::berToQ(1e-10), 6.36, 0.05);
+}
+
+TEST(LinkBudget, Table1OperatingPoint)
+{
+    OpticalLink link;
+    const auto r = link.evaluate();
+
+    EXPECT_NEAR(r.path_loss_db, 2.6, 0.5);
+    // SNR ~7.5 dB and BER ~1e-10 in the paper's convention.
+    EXPECT_NEAR(r.snr_db, 7.5, 1.5);
+    EXPECT_LT(r.bit_error_rate, 1e-7);
+    EXPECT_GT(r.bit_error_rate, 1e-16);
+    // Jitter in the low picoseconds (paper: 1.7 ps).
+    EXPECT_GT(r.jitter_rms_s, 0.2e-12);
+    EXPECT_LT(r.jitter_rms_s, 5e-12);
+    // Power rows.
+    EXPECT_NEAR(r.vcsel_power_w, 0.96e-3, 0.15e-3);
+    EXPECT_NEAR(r.receiver_power_w, 4.2e-3, 1e-9);
+    EXPECT_NEAR(r.laser_driver_power_w, 6.3e-3, 1e-9);
+    // Energy per bit: ~0.3 pJ at 40 Gbps.
+    EXPECT_LT(r.energy_per_bit_j, 1e-12);
+    EXPECT_GT(r.energy_per_bit_j, 0.05e-12);
+}
+
+TEST(LinkBudget, LongerPathDegradesBer)
+{
+    PathParams near_path, far_path;
+    near_path.distance_m = 0.01;
+    far_path.distance_m = 0.04;
+    OpticalLink near_link(VcselParams{}, near_path);
+    OpticalLink far_link(VcselParams{}, far_path);
+    EXPECT_LT(near_link.evaluate().bit_error_rate,
+              far_link.evaluate().bit_error_rate);
+    EXPECT_GT(near_link.evaluate().q_factor,
+              far_link.evaluate().q_factor);
+}
+
+/** Property sweep: more optical power never hurts the link. */
+class LinkPowerSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LinkPowerSweep, QImprovesWithDrive)
+{
+    LinkParams base;
+    LinkParams more = base;
+    more.average_current_a = GetParam();
+    OpticalLink weak(VcselParams{}, PathParams{}, PhotodetectorParams{},
+                     TiaParams{}, base);
+    OpticalLink strong(VcselParams{}, PathParams{}, PhotodetectorParams{},
+                       TiaParams{}, more);
+    if (more.average_current_a > base.average_current_a)
+        EXPECT_GE(strong.evaluate().q_factor, weak.evaluate().q_factor);
+    else
+        EXPECT_LE(strong.evaluate().q_factor, weak.evaluate().q_factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(DriveCurrents, LinkPowerSweep,
+                         ::testing::Values(0.3e-3, 0.4e-3, 0.48e-3,
+                                           0.6e-3, 0.8e-3, 1.0e-3));
+
+} // namespace
+} // namespace fsoi::photonics

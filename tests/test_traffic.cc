@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the synthetic traffic driver, and network saturation
+ * behaviour probed through it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fsoi/fsoi_network.hh"
+#include "noc/ideal_network.hh"
+#include "noc/mesh_network.hh"
+#include "workload/traffic.hh"
+
+namespace fsoi::workload {
+namespace {
+
+using noc::MeshLayout;
+
+void
+sinkAll(noc::Network &net)
+{
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numEndpoints()); ++n)
+        net.setHandler(n, [](noc::Packet &) {});
+}
+
+TEST(Traffic, ConservationOnMesh)
+{
+    MeshLayout layout(16, 4);
+    noc::MeshNetwork net(layout, noc::MeshConfig{});
+    sinkAll(net);
+    TrafficConfig cfg;
+    cfg.injection_rate = 0.02;
+    cfg.active_endpoints = 16;
+    TrafficGenerator gen(net, cfg, 4);
+    const auto res = gen.run(5000);
+    EXPECT_EQ(res.delivered, res.offered - res.refused);
+    EXPECT_GT(res.delivered, 500u);
+}
+
+TEST(Traffic, ConservationOnFsoi)
+{
+    MeshLayout layout(16, 4);
+    ::fsoi::fsoi::FsoiNetwork net(layout, ::fsoi::fsoi::FsoiConfig{});
+    sinkAll(net);
+    TrafficConfig cfg;
+    cfg.injection_rate = 0.02;
+    cfg.active_endpoints = 16;
+    TrafficGenerator gen(net, cfg, 4);
+    const auto res = gen.run(5000);
+    EXPECT_EQ(res.delivered, res.offered - res.refused);
+    EXPECT_GT(res.meta_collision_rate, 0.0);
+}
+
+TEST(Traffic, HotspotConcentratesLoad)
+{
+    MeshLayout layout(16, 4);
+    ::fsoi::fsoi::FsoiNetwork uni_net(layout, ::fsoi::fsoi::FsoiConfig{});
+    ::fsoi::fsoi::FsoiNetwork hot_net(layout, ::fsoi::fsoi::FsoiConfig{});
+    sinkAll(uni_net);
+    sinkAll(hot_net);
+
+    TrafficConfig uni;
+    uni.injection_rate = 0.03;
+    uni.active_endpoints = 16;
+    TrafficConfig hot = uni;
+    hot.pattern = TrafficPattern::Hotspot;
+    hot.hotspot = 5;
+    hot.hotspot_fraction = 0.7;
+
+    TrafficGenerator ug(uni_net, uni, 4);
+    TrafficGenerator hg(hot_net, hot, 4);
+    const auto ur = ug.run(8000);
+    const auto hr = hg.run(8000);
+    // Converging on one node raises collisions sharply.
+    EXPECT_GT(hr.meta_collision_rate, 2.0 * ur.meta_collision_rate);
+}
+
+TEST(Traffic, TransposeAndNeighborDeliver)
+{
+    MeshLayout layout(16, 4);
+    for (auto pattern :
+         {TrafficPattern::Transpose, TrafficPattern::Neighbor}) {
+        noc::MeshNetwork net(layout, noc::MeshConfig{});
+        sinkAll(net);
+        TrafficConfig cfg;
+        cfg.pattern = pattern;
+        cfg.injection_rate = 0.02;
+        cfg.active_endpoints = 16;
+        TrafficGenerator gen(net, cfg, 4);
+        const auto res = gen.run(3000);
+        EXPECT_EQ(res.delivered, res.offered - res.refused)
+            << trafficPatternName(pattern);
+    }
+}
+
+TEST(Traffic, NeighborBeatsUniformOnMeshLatency)
+{
+    MeshLayout layout(16, 4);
+    noc::MeshNetwork near_net(layout, noc::MeshConfig{});
+    noc::MeshNetwork far_net(layout, noc::MeshConfig{});
+    sinkAll(near_net);
+    sinkAll(far_net);
+    TrafficConfig near_cfg;
+    near_cfg.pattern = TrafficPattern::Neighbor;
+    near_cfg.injection_rate = 0.02;
+    near_cfg.active_endpoints = 16;
+    TrafficConfig far_cfg = near_cfg;
+    far_cfg.pattern = TrafficPattern::UniformRandom;
+    TrafficGenerator ng(near_net, near_cfg, 4);
+    TrafficGenerator fg(far_net, far_cfg, 4);
+    // Distance matters on the mesh...
+    EXPECT_LT(ng.run(4000).avg_latency, fg.run(4000).avg_latency);
+
+    // ...but not on the FSOI network (all-to-all direct beams).
+    ::fsoi::fsoi::FsoiNetwork onear(layout, ::fsoi::fsoi::FsoiConfig{});
+    ::fsoi::fsoi::FsoiNetwork ofar(layout, ::fsoi::fsoi::FsoiConfig{});
+    sinkAll(onear);
+    sinkAll(ofar);
+    TrafficGenerator og(onear, near_cfg, 4);
+    TrafficGenerator og2(ofar, far_cfg, 4);
+    EXPECT_NEAR(og.run(4000).avg_latency, og2.run(4000).avg_latency, 1.0);
+}
+
+/** Property: rising load raises latency monotonically-ish on the mesh. */
+class MeshLoadLatency : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(MeshLoadLatency, LatencyGrowsWithLoad)
+{
+    MeshLayout layout(16, 4);
+    noc::MeshNetwork light(layout, noc::MeshConfig{});
+    noc::MeshNetwork heavy(layout, noc::MeshConfig{});
+    sinkAll(light);
+    sinkAll(heavy);
+    TrafficConfig lo;
+    lo.injection_rate = 0.005;
+    lo.active_endpoints = 16;
+    TrafficConfig hi = lo;
+    hi.injection_rate = GetParam();
+    TrafficGenerator lg(light, lo, 4);
+    TrafficGenerator hg(heavy, hi, 4);
+    EXPECT_LE(lg.run(6000).avg_latency, hg.run(6000).avg_latency + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MeshLoadLatency,
+                         ::testing::Values(0.01, 0.03, 0.06));
+
+} // namespace
+} // namespace fsoi::workload

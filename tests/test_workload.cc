@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workload/apps.hh"
+
+namespace fsoi::workload {
+namespace {
+
+std::vector<Instr>
+drain(InstrStream &stream, std::size_t limit = 1u << 20)
+{
+    std::vector<Instr> out;
+    while (out.size() < limit) {
+        Instr instr = stream.next();
+        out.push_back(instr);
+        if (instr.op == Op::End)
+            break;
+    }
+    return out;
+}
+
+TEST(Apps, SixteenProfiles)
+{
+    const auto apps = paperApps();
+    EXPECT_EQ(apps.size(), 16u);
+    std::map<std::string, int> names;
+    for (const auto &app : apps)
+        names[app.name]++;
+    EXPECT_EQ(names.size(), 16u); // unique names
+    EXPECT_TRUE(names.count("fft"));
+    EXPECT_TRUE(names.count("mp3d"));
+    EXPECT_TRUE(names.count("tsp"));
+}
+
+TEST(Apps, LookupByName)
+{
+    EXPECT_EQ(appByName("ocean").name, "ocean");
+    EXPECT_DEATH(appByName("no-such-app"), "");
+}
+
+TEST(Apps, ScaledAdjustsBudget)
+{
+    const auto app = appByName("lu");
+    EXPECT_EQ(app.scaled(0.5).instructions, app.instructions / 2);
+    EXPECT_GE(app.scaled(1e-9).instructions, 1u);
+}
+
+TEST(Stream, DeterministicPerSeedAndThread)
+{
+    const auto app = appByName("barnes").scaled(0.1);
+    auto s1 = makeAppStream(app, 3, 16, 42);
+    auto s2 = makeAppStream(app, 3, 16, 42);
+    auto s3 = makeAppStream(app, 4, 16, 42);
+    const auto a = drain(*s1);
+    const auto b = drain(*s2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].addr, b[i].addr);
+    }
+    // Different thread -> different stream (compare op sequence).
+    const auto c = drain(*s3);
+    bool differs = a.size() != c.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].addr != c[i].addr || a[i].op != c[i].op;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Stream, EndsAndStaysEnded)
+{
+    const auto app = appByName("ws").scaled(0.02);
+    auto stream = makeAppStream(app, 0, 16, 1);
+    auto instrs = drain(*stream);
+    ASSERT_FALSE(instrs.empty());
+    EXPECT_EQ(instrs.back().op, Op::End);
+    EXPECT_EQ(stream->next().op, Op::End);
+    EXPECT_EQ(stream->next().op, Op::End);
+}
+
+TEST(Stream, AddressesInDeclaredSpaces)
+{
+    const auto app = appByName("raytrace").scaled(0.1);
+    auto stream = makeAppStream(app, 5, 16, 9);
+    for (const auto &instr : drain(*stream)) {
+        switch (instr.op) {
+          case Op::Load:
+          case Op::Store:
+            EXPECT_TRUE(
+                (instr.addr >= kPrivateBase
+                 && instr.addr < kPrivateBase + 16 * kPrivateStride)
+                || (instr.addr >= kSharedBase
+                    && instr.addr < kLockBase))
+                << std::hex << instr.addr;
+            break;
+          case Op::Lock:
+          case Op::Unlock:
+            EXPECT_GE(instr.addr, kLockBase);
+            EXPECT_LT(instr.addr, kBarrierBase);
+            break;
+          case Op::Barrier:
+            EXPECT_GE(instr.addr, kBarrierBase);
+            EXPECT_EQ(instr.value, 16u);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+TEST(Stream, PrivateAddressesAreThreadLocal)
+{
+    const auto app = appByName("lu").scaled(0.1);
+    auto s0 = makeAppStream(app, 0, 16, 7);
+    auto s1 = makeAppStream(app, 1, 16, 7);
+    auto in_private = [](Addr a, int tid) {
+        const Addr base = kPrivateBase + tid * kPrivateStride;
+        return a >= base && a < base + kPrivateStride;
+    };
+    for (const auto &instr : drain(*s0)) {
+        if ((instr.op == Op::Load || instr.op == Op::Store)
+            && instr.addr < kSharedBase) {
+            EXPECT_TRUE(in_private(instr.addr, 0));
+        }
+    }
+    for (const auto &instr : drain(*s1)) {
+        if ((instr.op == Op::Load || instr.op == Op::Store)
+            && instr.addr < kSharedBase) {
+            EXPECT_TRUE(in_private(instr.addr, 1));
+        }
+    }
+}
+
+TEST(Stream, LockUnlockBalanced)
+{
+    const auto app = appByName("tsp").scaled(0.2);
+    auto stream = makeAppStream(app, 2, 16, 3);
+    int depth = 0;
+    Addr held = 0;
+    for (const auto &instr : drain(*stream)) {
+        if (instr.op == Op::Lock) {
+            EXPECT_EQ(depth, 0);
+            ++depth;
+            held = instr.addr;
+        } else if (instr.op == Op::Unlock) {
+            EXPECT_EQ(depth, 1);
+            EXPECT_EQ(instr.addr, held);
+            --depth;
+        }
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+/**
+ * The livelock regression: every thread of an application must emit
+ * exactly the same barrier sequence, or threads deadlock at different
+ * barriers.
+ */
+class BarrierAgreement : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(BarrierAgreement, SameSequenceAcrossThreads)
+{
+    const auto app = appByName(GetParam()).scaled(0.3);
+    std::vector<std::vector<Addr>> sequences;
+    for (int t = 0; t < 16; ++t) {
+        auto stream = makeAppStream(app, t, 16, 77);
+        std::vector<Addr> seq;
+        for (const auto &instr : drain(*stream))
+            if (instr.op == Op::Barrier)
+                seq.push_back(instr.addr);
+        sequences.push_back(std::move(seq));
+    }
+    for (int t = 1; t < 16; ++t)
+        EXPECT_EQ(sequences[t], sequences[0]) << "thread " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBarrierApps, BarrierAgreement,
+                         ::testing::Values("fft", "lu", "ocean", "radix",
+                                           "ws", "em3d", "ilink",
+                                           "jacobi", "mp3d", "shallow"));
+
+TEST(Stream, MemoryRatioApproximatelyHonored)
+{
+    const auto app = appByName("ocean").scaled(0.5);
+    auto stream = makeAppStream(app, 0, 16, 5);
+    std::uint64_t compute_cycles = 0, mem_ops = 0;
+    for (const auto &instr : drain(*stream)) {
+        if (instr.op == Op::Compute)
+            compute_cycles += instr.cycles;
+        else if (instr.op == Op::Load || instr.op == Op::Store)
+            ++mem_ops;
+    }
+    const double ratio = static_cast<double>(mem_ops)
+        / (compute_cycles + mem_ops);
+    EXPECT_NEAR(ratio, app.mem_ratio, 0.08);
+}
+
+} // namespace
+} // namespace fsoi::workload
