@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fsoi_design.dir/ablation_fsoi_design.cc.o"
+  "CMakeFiles/ablation_fsoi_design.dir/ablation_fsoi_design.cc.o.d"
+  "ablation_fsoi_design"
+  "ablation_fsoi_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fsoi_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

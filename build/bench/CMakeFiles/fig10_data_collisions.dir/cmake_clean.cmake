@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_data_collisions.dir/fig10_data_collisions.cc.o"
+  "CMakeFiles/fig10_data_collisions.dir/fig10_data_collisions.cc.o.d"
+  "fig10_data_collisions"
+  "fig10_data_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_data_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

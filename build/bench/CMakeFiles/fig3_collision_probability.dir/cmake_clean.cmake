@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_collision_probability.dir/fig3_collision_probability.cc.o"
+  "CMakeFiles/fig3_collision_probability.dir/fig3_collision_probability.cc.o.d"
+  "fig3_collision_probability"
+  "fig3_collision_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_collision_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_backoff_surface.dir/fig4_backoff_surface.cc.o"
+  "CMakeFiles/fig4_backoff_surface.dir/fig4_backoff_surface.cc.o.d"
+  "fig4_backoff_surface"
+  "fig4_backoff_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_backoff_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reply_latency_dist.dir/fig5_reply_latency_dist.cc.o"
+  "CMakeFiles/fig5_reply_latency_dist.dir/fig5_reply_latency_dist.cc.o.d"
+  "fig5_reply_latency_dist"
+  "fig5_reply_latency_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reply_latency_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

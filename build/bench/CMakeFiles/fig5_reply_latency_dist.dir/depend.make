@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_reply_latency_dist.
+# This may be replaced when dependencies are built.

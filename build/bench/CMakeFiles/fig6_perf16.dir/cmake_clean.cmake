@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_perf16.dir/fig6_perf16.cc.o"
+  "CMakeFiles/fig6_perf16.dir/fig6_perf16.cc.o.d"
+  "fig6_perf16"
+  "fig6_perf16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_perf16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_perf64.dir/fig7_perf64.cc.o"
+  "CMakeFiles/fig7_perf64.dir/fig7_perf64.cc.o.d"
+  "fig7_perf64"
+  "fig7_perf64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perf64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_confirmation_opt.dir/fig9_confirmation_opt.cc.o"
+  "CMakeFiles/fig9_confirmation_opt.dir/fig9_confirmation_opt.cc.o.d"
+  "fig9_confirmation_opt"
+  "fig9_confirmation_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_confirmation_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

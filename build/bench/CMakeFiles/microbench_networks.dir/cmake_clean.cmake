@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_networks.dir/microbench_networks.cc.o"
+  "CMakeFiles/microbench_networks.dir/microbench_networks.cc.o.d"
+  "microbench_networks"
+  "microbench_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_link_budget.dir/table1_link_budget.cc.o"
+  "CMakeFiles/table1_link_budget.dir/table1_link_budget.cc.o.d"
+  "table1_link_budget"
+  "table1_link_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_link_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

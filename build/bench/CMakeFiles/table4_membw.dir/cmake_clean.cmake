@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_membw.dir/table4_membw.cc.o"
+  "CMakeFiles/table4_membw.dir/table4_membw.cc.o.d"
+  "table4_membw"
+  "table4_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

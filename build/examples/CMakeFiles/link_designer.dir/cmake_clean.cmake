@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_designer.dir/link_designer.cpp.o"
+  "CMakeFiles/link_designer.dir/link_designer.cpp.o.d"
+  "link_designer"
+  "link_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/backoff_model.cc" "src/analytic/CMakeFiles/fsoi_analytic.dir/backoff_model.cc.o" "gcc" "src/analytic/CMakeFiles/fsoi_analytic.dir/backoff_model.cc.o.d"
+  "/root/repo/src/analytic/bandwidth_alloc.cc" "src/analytic/CMakeFiles/fsoi_analytic.dir/bandwidth_alloc.cc.o" "gcc" "src/analytic/CMakeFiles/fsoi_analytic.dir/bandwidth_alloc.cc.o.d"
+  "/root/repo/src/analytic/collision_model.cc" "src/analytic/CMakeFiles/fsoi_analytic.dir/collision_model.cc.o" "gcc" "src/analytic/CMakeFiles/fsoi_analytic.dir/collision_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsoi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

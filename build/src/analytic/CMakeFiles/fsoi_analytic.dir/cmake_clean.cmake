@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_analytic.dir/backoff_model.cc.o"
+  "CMakeFiles/fsoi_analytic.dir/backoff_model.cc.o.d"
+  "CMakeFiles/fsoi_analytic.dir/bandwidth_alloc.cc.o"
+  "CMakeFiles/fsoi_analytic.dir/bandwidth_alloc.cc.o.d"
+  "CMakeFiles/fsoi_analytic.dir/collision_model.cc.o"
+  "CMakeFiles/fsoi_analytic.dir/collision_model.cc.o.d"
+  "libfsoi_analytic.a"
+  "libfsoi_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

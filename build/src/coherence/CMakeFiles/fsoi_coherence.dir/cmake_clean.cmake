@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_coherence.dir/directory.cc.o"
+  "CMakeFiles/fsoi_coherence.dir/directory.cc.o.d"
+  "CMakeFiles/fsoi_coherence.dir/l1_cache.cc.o"
+  "CMakeFiles/fsoi_coherence.dir/l1_cache.cc.o.d"
+  "CMakeFiles/fsoi_coherence.dir/message.cc.o"
+  "CMakeFiles/fsoi_coherence.dir/message.cc.o.d"
+  "libfsoi_coherence.a"
+  "libfsoi_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

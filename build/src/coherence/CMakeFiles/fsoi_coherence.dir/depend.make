@@ -1,0 +1,2 @@
+# Empty dependencies file for fsoi_coherence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_common.dir/logging.cc.o"
+  "CMakeFiles/fsoi_common.dir/logging.cc.o.d"
+  "CMakeFiles/fsoi_common.dir/rng.cc.o"
+  "CMakeFiles/fsoi_common.dir/rng.cc.o.d"
+  "CMakeFiles/fsoi_common.dir/stats.cc.o"
+  "CMakeFiles/fsoi_common.dir/stats.cc.o.d"
+  "CMakeFiles/fsoi_common.dir/table.cc.o"
+  "CMakeFiles/fsoi_common.dir/table.cc.o.d"
+  "libfsoi_common.a"
+  "libfsoi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

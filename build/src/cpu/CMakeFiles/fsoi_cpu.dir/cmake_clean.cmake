@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_cpu.dir/core.cc.o"
+  "CMakeFiles/fsoi_cpu.dir/core.cc.o.d"
+  "libfsoi_cpu.a"
+  "libfsoi_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

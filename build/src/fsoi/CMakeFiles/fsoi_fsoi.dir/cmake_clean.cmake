@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_fsoi.dir/fsoi_network.cc.o"
+  "CMakeFiles/fsoi_fsoi.dir/fsoi_network.cc.o.d"
+  "libfsoi_fsoi.a"
+  "libfsoi_fsoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_fsoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_memory.dir/memory_controller.cc.o"
+  "CMakeFiles/fsoi_memory.dir/memory_controller.cc.o.d"
+  "libfsoi_memory.a"
+  "libfsoi_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

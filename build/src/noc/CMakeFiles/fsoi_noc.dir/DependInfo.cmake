@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/ideal_network.cc" "src/noc/CMakeFiles/fsoi_noc.dir/ideal_network.cc.o" "gcc" "src/noc/CMakeFiles/fsoi_noc.dir/ideal_network.cc.o.d"
+  "/root/repo/src/noc/mesh_network.cc" "src/noc/CMakeFiles/fsoi_noc.dir/mesh_network.cc.o" "gcc" "src/noc/CMakeFiles/fsoi_noc.dir/mesh_network.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/fsoi_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/fsoi_noc.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsoi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_noc.dir/ideal_network.cc.o"
+  "CMakeFiles/fsoi_noc.dir/ideal_network.cc.o.d"
+  "CMakeFiles/fsoi_noc.dir/mesh_network.cc.o"
+  "CMakeFiles/fsoi_noc.dir/mesh_network.cc.o.d"
+  "CMakeFiles/fsoi_noc.dir/network.cc.o"
+  "CMakeFiles/fsoi_noc.dir/network.cc.o.d"
+  "libfsoi_noc.a"
+  "libfsoi_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

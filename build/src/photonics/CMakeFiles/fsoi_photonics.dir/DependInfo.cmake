@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/photonics/free_space_path.cc" "src/photonics/CMakeFiles/fsoi_photonics.dir/free_space_path.cc.o" "gcc" "src/photonics/CMakeFiles/fsoi_photonics.dir/free_space_path.cc.o.d"
+  "/root/repo/src/photonics/link_budget.cc" "src/photonics/CMakeFiles/fsoi_photonics.dir/link_budget.cc.o" "gcc" "src/photonics/CMakeFiles/fsoi_photonics.dir/link_budget.cc.o.d"
+  "/root/repo/src/photonics/receiver.cc" "src/photonics/CMakeFiles/fsoi_photonics.dir/receiver.cc.o" "gcc" "src/photonics/CMakeFiles/fsoi_photonics.dir/receiver.cc.o.d"
+  "/root/repo/src/photonics/vcsel.cc" "src/photonics/CMakeFiles/fsoi_photonics.dir/vcsel.cc.o" "gcc" "src/photonics/CMakeFiles/fsoi_photonics.dir/vcsel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fsoi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

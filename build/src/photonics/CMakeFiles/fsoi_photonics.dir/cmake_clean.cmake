@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_photonics.dir/free_space_path.cc.o"
+  "CMakeFiles/fsoi_photonics.dir/free_space_path.cc.o.d"
+  "CMakeFiles/fsoi_photonics.dir/link_budget.cc.o"
+  "CMakeFiles/fsoi_photonics.dir/link_budget.cc.o.d"
+  "CMakeFiles/fsoi_photonics.dir/receiver.cc.o"
+  "CMakeFiles/fsoi_photonics.dir/receiver.cc.o.d"
+  "CMakeFiles/fsoi_photonics.dir/vcsel.cc.o"
+  "CMakeFiles/fsoi_photonics.dir/vcsel.cc.o.d"
+  "libfsoi_photonics.a"
+  "libfsoi_photonics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_photonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

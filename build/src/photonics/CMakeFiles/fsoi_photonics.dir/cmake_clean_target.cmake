@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsoi_photonics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_sim.dir/energy_model.cc.o"
+  "CMakeFiles/fsoi_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/fsoi_sim.dir/system.cc.o"
+  "CMakeFiles/fsoi_sim.dir/system.cc.o.d"
+  "libfsoi_sim.a"
+  "libfsoi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsoi_workload.dir/apps.cc.o"
+  "CMakeFiles/fsoi_workload.dir/apps.cc.o.d"
+  "CMakeFiles/fsoi_workload.dir/traffic.cc.o"
+  "CMakeFiles/fsoi_workload.dir/traffic.cc.o.d"
+  "libfsoi_workload.a"
+  "libfsoi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsoi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

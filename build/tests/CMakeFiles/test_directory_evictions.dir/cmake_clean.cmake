@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directory_evictions.dir/test_directory_evictions.cc.o"
+  "CMakeFiles/test_directory_evictions.dir/test_directory_evictions.cc.o.d"
+  "test_directory_evictions"
+  "test_directory_evictions.pdb"
+  "test_directory_evictions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directory_evictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

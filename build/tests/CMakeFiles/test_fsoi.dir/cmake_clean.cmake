@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsoi.dir/test_fsoi.cc.o"
+  "CMakeFiles/test_fsoi.dir/test_fsoi.cc.o.d"
+  "test_fsoi"
+  "test_fsoi.pdb"
+  "test_fsoi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

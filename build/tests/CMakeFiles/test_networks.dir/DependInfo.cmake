@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_networks.cc" "tests/CMakeFiles/test_networks.dir/test_networks.cc.o" "gcc" "tests/CMakeFiles/test_networks.dir/test_networks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsoi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fsoi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fsoi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fsoi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/fsoi_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsoi/CMakeFiles/fsoi_fsoi.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/fsoi_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonics/CMakeFiles/fsoi_photonics.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/fsoi_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fsoi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photonics.dir/test_photonics.cc.o"
+  "CMakeFiles/test_photonics.dir/test_photonics.cc.o.d"
+  "test_photonics"
+  "test_photonics.pdb"
+  "test_photonics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
