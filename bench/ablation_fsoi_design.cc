@@ -67,6 +67,7 @@ runVariant(const Variant &variant, double scale)
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "ablation");
     const double scale = bench::scaleArg(argc, argv, 0.2);
     bench::banner("Ablation", "FSOI design choices (16 nodes)");
 
@@ -116,6 +117,7 @@ main(int argc, char **argv)
                       TextTable::pct(row.meta_coll, 2),
                       TextTable::pct(row.data_coll, 2)});
     }
+    json.table(table);
     table.print(std::cout);
     std::printf("\n(rel. time: summed cycles over a sync-heavy subset, "
                 "normalized to the paper configuration; R=2 should sit "

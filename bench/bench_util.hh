@@ -11,12 +11,18 @@
 #ifndef FSOI_BENCH_BENCH_UTIL_HH
 #define FSOI_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/stat_registry.hh"
 #include "sim/system.hh"
 #include "workload/apps.hh"
 
@@ -33,6 +39,109 @@ scaleArg(int argc, char **argv, double dflt)
     }
     return dflt;
 }
+
+/**
+ * Machine-readable figure output: when the bench is invoked with
+ * `--json=FILE` (stripped from argv before the positional scale
+ * argument is read), the tables and headline scalars the bench prints
+ * are also written as one JSON document:
+ *
+ *   {"figure":"fig10","scalars":{...},
+ *    "tables":[{"headers":[...],"rows":[[...],...]}]}
+ *
+ * so plotting scripts stop scraping stdout.
+ */
+class FigureJson
+{
+  public:
+    FigureJson(int &argc, char **argv, std::string figure_id)
+        : figure_(std::move(figure_id))
+    {
+        int keep = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--json=", 0) == 0)
+                path_ = std::string(arg.substr(7));
+            else
+                argv[keep++] = argv[i];
+        }
+        argv[keep] = nullptr;
+        argc = keep;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    void
+    scalar(const std::string &name, double value)
+    {
+        scalars_.emplace_back(name, value);
+    }
+
+    void
+    table(const TextTable &t)
+    {
+        tables_.push_back(t);
+    }
+
+    ~FigureJson()
+    {
+        if (!enabled())
+            return;
+        std::ofstream os(path_);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s' for figure JSON\n",
+                         path_.c_str());
+            return;
+        }
+        os << "{\"figure\":\"" << obs::jsonEscape(figure_) << "\"";
+        os << ",\"scalars\":{";
+        for (std::size_t i = 0; i < scalars_.size(); ++i) {
+            os << (i ? "," : "") << "\""
+               << obs::jsonEscape(scalars_[i].first) << "\":";
+            jsonNumber(os, scalars_[i].second);
+        }
+        os << "},\"tables\":[";
+        for (std::size_t t = 0; t < tables_.size(); ++t) {
+            os << (t ? "," : "") << "{\"headers\":[";
+            writeCells(os, tables_[t].headers());
+            os << "],\"rows\":[";
+            const auto &rows = tables_[t].rows();
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                os << (r ? "," : "") << "[";
+                writeCells(os, rows[r]);
+                os << "]";
+            }
+            os << "]}";
+        }
+        os << "]}\n";
+    }
+
+  private:
+    static void
+    jsonNumber(std::ostream &os, double v)
+    {
+        if (std::isnan(v) || std::isinf(v)) {
+            os << "null";
+            return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.12g", v);
+        os << buf;
+    }
+
+    static void
+    writeCells(std::ostream &os, const std::vector<std::string> &cells)
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << (i ? "," : "") << "\"" << obs::jsonEscape(cells[i])
+               << "\"";
+    }
+
+    std::string figure_;
+    std::string path_;
+    std::vector<std::pair<std::string, double>> scalars_;
+    std::vector<TextTable> tables_;
+};
 
 /** Run one application on one system configuration. */
 inline sim::RunResult

@@ -68,6 +68,7 @@ sweep(bool optimized, double scale)
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig10");
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 10",
                   "data-lane collision breakdown, before/after opts");
@@ -108,5 +109,12 @@ main(int argc, char **argv)
     std::printf("mean data collision resolution delay: %.0f -> %.0f "
                 "cycles (paper: ~41 -> ~29)\n",
                 before.resolution, after.resolution);
+    json.table(table);
+    json.scalar("events_baseline", static_cast<double>(before.total()));
+    json.scalar("events_optimized", static_cast<double>(after.total()));
+    json.scalar("collision_rate_baseline", before.coll_rate);
+    json.scalar("collision_rate_optimized", after.coll_rate);
+    json.scalar("resolution_delay_baseline", before.resolution);
+    json.scalar("resolution_delay_optimized", after.resolution);
     return 0;
 }

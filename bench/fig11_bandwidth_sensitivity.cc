@@ -21,6 +21,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig11");
     const double scale = bench::scaleArg(argc, argv, 0.2);
     bench::banner("Figure 11", "performance vs relative bandwidth");
 
@@ -57,5 +58,6 @@ main(int argc, char **argv)
     std::printf("\n(each column normalized to its own full-bandwidth "
                 "configuration; paper: both fall off, FSOI no faster "
                 "than mesh)\n");
+    json.table(table);
     return 0;
 }

@@ -77,8 +77,9 @@ packetTheory(double p, int receivers)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig3");
     bench::banner("Figure 3",
                   "collision probability vs transmission probability");
 
@@ -122,6 +123,11 @@ main()
     alloc.print(std::cout);
     std::printf("\noptimal B_M = %.3f (paper: 0.285 -> 3 meta / 6 data "
                 "VCSELs)\n",
+                analytic::optimalMetaShare(constants));
+    json.table(theory);
+    json.table(exp);
+    json.table(alloc);
+    json.scalar("optimal_meta_share",
                 analytic::optimalMetaShare(constants));
     return 0;
 }

@@ -18,8 +18,9 @@ using analytic::BackoffParams;
 using analytic::simulateBackoff;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig4");
     bench::banner("Figure 4",
                   "collision resolution delay vs (W, B) surface");
 
@@ -51,10 +52,14 @@ main()
             }
             table.addRow(row);
         }
+        json.table(table);
         table.print(std::cout);
         BackoffParams paper;
         paper.background_rate = g;
         const auto at_paper = simulateBackoff(paper, 30000, 11);
+        json.scalar(g < 0.05 ? "paper_point_delay_g1"
+                             : "paper_point_delay_g10",
+                    at_paper.mean_delay_cycles);
         std::printf("\n  minimum %.2f cycles at (W=%.1f, B=%.2f); "
                     "paper point (W=2.7, B=1.1) = %.2f cycles "
                     "(paper: computed 7.26, simulated ~7.4)\n\n",

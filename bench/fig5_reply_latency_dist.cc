@@ -19,6 +19,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig5");
     const double scale = bench::scaleArg(argc, argv, 0.1);
     bench::banner("Figure 5", "read-miss reply latency distribution");
 
@@ -44,13 +45,18 @@ main(int argc, char **argv)
     double peak = 0.0;
     for (std::size_t b = 0; b < 24; ++b)
         peak = std::max(peak, hist.fraction(b));
+    TextTable bins({"bin_lo", "bin_hi", "fraction"});
     for (std::size_t b = 0; b < 24; ++b) {
         const double frac = hist.fraction(b);
         const int bar = peak > 0 ? static_cast<int>(50 * frac / peak) : 0;
         std::printf("%3.0f-%-3.0f cyc  %5.1f%%  %s\n", b * hist.binWidth(),
                     (b + 1) * hist.binWidth(), 100 * frac,
                     std::string(bar, '#').c_str());
+        bins.addRow({TextTable::num(b * hist.binWidth(), 0),
+                     TextTable::num((b + 1) * hist.binWidth(), 0),
+                     TextTable::num(frac, 4)});
     }
+    json.table(bins);
     std::printf(">120 cyc     %5.1f%%\n",
                 100.0 * (1.0 - [&] {
                     double s = 0;
@@ -61,6 +67,10 @@ main(int argc, char **argv)
     std::printf("\nmean %.1f cycles, p50 %.0f, p90 %.0f, p99 %.0f\n",
                 hist.mean(), hist.quantile(0.5), hist.quantile(0.9),
                 hist.quantile(0.99));
+    json.scalar("mean", hist.mean());
+    json.scalar("p50", hist.quantile(0.5));
+    json.scalar("p90", hist.quantile(0.9));
+    json.scalar("p99", hist.quantile(0.99));
     std::printf("(paper: probability heavily concentrated in a few "
                 "choices; peak ~41%% in one bin)\n");
     return 0;

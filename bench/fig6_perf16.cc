@@ -21,6 +21,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig6");
     const double scale = bench::scaleArg(argc, argv, 0.25);
     const int cores = 16;
     bench::banner("Figure 6", "16-node latency breakdown and speedups");
@@ -68,6 +69,12 @@ main(int argc, char **argv)
                 "Lr2 %.2f\n",
                 geometricMean(s_fsoi), geometricMean(s_l0),
                 geometricMean(s_lr1), geometricMean(s_lr2));
+    json.table(lat);
+    json.table(spd);
+    json.scalar("geomean_fsoi", geometricMean(s_fsoi));
+    json.scalar("geomean_l0", geometricMean(s_l0));
+    json.scalar("geomean_lr1", geometricMean(s_lr1));
+    json.scalar("geomean_lr2", geometricMean(s_lr2));
     std::printf("(paper:           FSOI 1.36   L0 1.43   Lr1 1.32   "
                 "Lr2 1.22)\n");
     return 0;

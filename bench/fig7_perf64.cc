@@ -17,6 +17,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig7");
     const double scale = bench::scaleArg(argc, argv, 0.08);
     const int cores = 64;
     bench::banner("Figure 7",
@@ -67,5 +68,11 @@ main(int argc, char **argv)
                 geometricMean(s_lr1), geometricMean(s_lr2));
     std::printf("(paper:           FSOI 1.75   L0 1.91   Lr1 1.55   "
                 "Lr2 1.29)\n");
+    json.table(lat);
+    json.table(spd);
+    json.scalar("geomean_fsoi", geometricMean(s_fsoi));
+    json.scalar("geomean_l0", geometricMean(s_l0));
+    json.scalar("geomean_lr1", geometricMean(s_lr1));
+    json.scalar("geomean_lr2", geometricMean(s_lr2));
     return 0;
 }

@@ -18,6 +18,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig8");
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 8", "energy relative to the mesh baseline");
 
@@ -57,5 +58,10 @@ main(int argc, char **argv)
                 "(paper: ~20x)\n", n / net_ratio);
     std::printf("average power: mesh %.0f W -> FSOI %.0f W "
                 "(paper: 156 W -> 121 W)\n", p_mesh / n, p_fsoi / n);
+    json.table(table);
+    json.scalar("avg_energy_ratio", total_ratio / n);
+    json.scalar("avg_network_energy_reduction", n / net_ratio);
+    json.scalar("avg_power_mesh_w", p_mesh / n);
+    json.scalar("avg_power_fsoi_w", p_fsoi / n);
     return 0;
 }

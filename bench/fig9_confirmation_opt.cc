@@ -38,6 +38,7 @@ packetTheory(double p)
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "fig9");
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 9",
                   "meta collisions with/without confirmation-as-ack");
@@ -80,5 +81,10 @@ main(int argc, char **argv)
         std::printf("meta collision rate reduction: %.1f%% "
                     "(paper: ~31.5%% of meta collisions eliminated)\n",
                     100.0 * (1.0 - coll_opt_sum / coll_base_sum));
+    json.table(table);
+    json.scalar("traffic_reduction", 1.0 - pkts_opt / pkts_base);
+    if (coll_base_sum > 0)
+        json.scalar("meta_collision_reduction",
+                    1.0 - coll_opt_sum / coll_base_sum);
     return 0;
 }

@@ -50,6 +50,7 @@ gmeanSpeedup(int cores, sim::NetKind kind, double gbps, double scale,
 int
 main(int argc, char **argv)
 {
+    bench::FigureJson json(argc, argv, "table4");
     const double scale16 = bench::scaleArg(argc, argv, 0.15);
     const double scale64 = scale16 / 3.0;
     bench::banner("Table 4", "speedups vs off-chip memory bandwidth");
@@ -93,5 +94,7 @@ main(int argc, char **argv)
     t64.print(std::cout);
     std::printf("(paper: FSOI 1.61 / 1.75, L0 1.75 / 1.91, Lr1 1.41 / "
                 "1.55, Lr2 1.26 / 1.29)\n");
+    json.table(t16);
+    json.table(t64);
     return 0;
 }

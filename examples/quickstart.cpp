@@ -5,12 +5,19 @@
  * conventional mesh baseline.
  *
  *   ./quickstart [app] [cores]
+ *
+ * Also takes the shared observability knobs (see obs/cli.hh): e.g.
+ * `--stats-json=run.jsonl --stats-interval=10000` emits a per-epoch
+ * time series for the FSOI run, and `FSOI_TRACE=fsoi:2` in the
+ * environment writes a Chrome-trace event log.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/cli.hh"
+#include "sim/stats_io.hh"
 #include "sim/system.hh"
 
 using namespace fsoi;
@@ -18,12 +25,18 @@ using namespace fsoi;
 namespace {
 
 sim::RunResult
-runOnce(int cores, sim::NetKind kind, const workload::AppProfile &app)
+runOnce(int cores, sim::NetKind kind, const workload::AppProfile &app,
+        const obs::CliOptions *opts = nullptr)
 {
     sim::SystemConfig cfg = sim::SystemConfig::paperConfig(cores, kind);
     sim::System system(cfg);
     system.loadApp(app);
-    return system.run();
+    if (!opts)
+        return system.run();
+    sim::StatsIo stats(system, *opts);
+    auto res = system.run();
+    stats.finish();
+    return res;
 }
 
 } // namespace
@@ -31,6 +44,7 @@ runOnce(int cores, sim::NetKind kind, const workload::AppProfile &app)
 int
 main(int argc, char **argv)
 {
+    const obs::CliOptions obs_opts = obs::parseCliOptions(argc, argv);
     const std::string app_name = argc > 1 ? argv[1] : "fft";
     const int cores = argc > 2 ? std::atoi(argv[2]) : 16;
 
@@ -41,7 +55,8 @@ main(int argc, char **argv)
                 app.name.c_str());
 
     const auto mesh = runOnce(cores, sim::NetKind::Mesh, app);
-    const auto fsoi_run = runOnce(cores, sim::NetKind::Fsoi, app);
+    // The stats knobs instrument the run of interest: the FSOI one.
+    const auto fsoi_run = runOnce(cores, sim::NetKind::Fsoi, app, &obs_opts);
 
     std::printf("%-28s %12s %12s\n", "", "mesh", "FSOI");
     std::printf("%-28s %12llu %12llu\n", "execution cycles",

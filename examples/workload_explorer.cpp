@@ -7,6 +7,10 @@
  * transmission probability, and synchronization intensity.
  *
  *   ./workload_explorer [mesh|fsoi|l0|lr1|lr2] [scale]
+ *
+ * The shared observability knobs (obs/cli.hh) instrument every app
+ * run; with --stats-interval the output file concatenates one series
+ * per app (append mode), each restarting at cycle 0.
  */
 
 #include <cstdio>
@@ -16,6 +20,8 @@
 #include <string>
 
 #include "common/table.hh"
+#include "obs/cli.hh"
+#include "sim/stats_io.hh"
 #include "sim/system.hh"
 
 using namespace fsoi;
@@ -23,6 +29,7 @@ using namespace fsoi;
 int
 main(int argc, char **argv)
 {
+    const obs::CliOptions obs_opts = obs::parseCliOptions(argc, argv);
     sim::NetKind kind = sim::NetKind::Fsoi;
     if (argc > 1) {
         const std::string arg = argv[1];
@@ -51,7 +58,9 @@ main(int argc, char **argv)
         sim::SystemConfig cfg = sim::SystemConfig::paperConfig(16, kind);
         sim::System system(cfg);
         system.loadApp(app.scaled(scale));
+        sim::StatsIo stats(system, obs_opts);
         const auto res = system.run();
+        stats.finish();
 
         std::uint64_t locks = 0, barriers = 0;
         for (int n = 0; n < cfg.num_cores; ++n) {

@@ -44,6 +44,22 @@ Directory::sharersOf(Addr addr) const
     return line ? line->meta.sharers : 0;
 }
 
+void
+Directory::registerStats(const obs::Scope &scope) const
+{
+    scope.counter("requests", stats_.requests);
+    scope.counter("nacks_sent", stats_.nacks_sent);
+    scope.counter("invalidations_sent", stats_.invalidations_sent);
+    scope.counter("downgrades_sent", stats_.downgrades_sent);
+    scope.counter("mem_reads", stats_.mem_reads);
+    scope.counter("mem_writes", stats_.mem_writes);
+    scope.counter("l2_evictions", stats_.l2_evictions);
+    scope.counter("stale_acks_dropped", stats_.stale_acks_dropped);
+    scope.counter("late_writebacks_merged", stats_.late_writebacks_merged);
+    scope.counter("sync_updates", stats_.sync_updates);
+    scope.counter("l2_accesses", stats_.l2_accesses);
+}
+
 std::uint64_t
 Directory::packSyncTag(Addr word, std::uint64_t value, bool success,
                        bool direct)
@@ -97,11 +113,10 @@ Directory::handleMessage(const Message &msg)
       default:
         break; // acknowledgments, data and fills are always accepted
     }
-    if (traceEnabled() && (msg.type == MsgType::InvAck
-                                 || msg.type == MsgType::InvAckData))
-        std::fprintf(stderr, "[dir %u] enq invack line=%llx q=%zu\n",
-                     node_, (unsigned long long)msg.line,
-                     inQueue_.size());
+    if (msg.type == MsgType::InvAck || msg.type == MsgType::InvAckData)
+        FSOI_TRACE_POINT(TraceCat::Coherence, 3, "enq_invack", now_,
+                         node_, {"line", msg.line},
+                         {"queue", inQueue_.size()});
     inQueue_.push_back(msg);
 }
 
@@ -113,6 +128,10 @@ Directory::dispatch(const Message &msg)
       case MsgType::ReqEx:
       case MsgType::ReqUpg:
         stats_.requests++;
+        FSOI_TRACE_POINT(TraceCat::Coherence, 1, "req", now_, node_,
+                         {"line", msg.line},
+                         {"from", msg.requester},
+                         {"type", static_cast<std::uint64_t>(msg.type)});
         if (auto it = txns_.find(msg.line); it != txns_.end()) {
             // Table 2 "z": the line is busy; park the request.
             if (it->second.pending.size()
@@ -165,6 +184,9 @@ Directory::grantAndComplete(Addr line_addr, NodeId dst, MsgType type,
         type == MsgType::ExcAck || type == MsgType::Nack;
     if (!tag_only)
         stats_.l2_accesses++;
+    FSOI_TRACE_POINT(TraceCat::Coherence, 1, "grant", now_, node_,
+                     {"line", line_addr}, {"to", dst},
+                     {"type", static_cast<std::uint64_t>(type)});
     queueSend(dst, grant,
               tag_only ? config_.ctrl_latency : config_.l2_latency);
 
@@ -261,11 +283,9 @@ Directory::processRequest(const Message &msg)
         inv.line = line_addr;
         inv.requester = req;
         inv.version = txn.epoch;
-        if (traceEnabled())
-            std::fprintf(stderr,
-                         "[dir %u] invforex line=%llx req=%u sharers=%llx\n",
-                         node_, (unsigned long long)line_addr, req,
-                         (unsigned long long)ln->meta.sharers);
+        FSOI_TRACE_POINT(TraceCat::Coherence, 2, "inv_for_ex", now_,
+                         node_, {"line", line_addr}, {"req", req},
+                         {"sharers", ln->meta.sharers});
         for (NodeId n = 0; n < 64; ++n) {
             if (ln->meta.sharers & bit(n)) {
                 stats_.invalidations_sent++;
@@ -302,20 +322,16 @@ Directory::processRequest(const Message &msg)
             demand.type = MsgType::Inv;
             demand.explicit_ack = true;
             stats_.invalidations_sent++;
-            if (traceEnabled())
-                std::fprintf(stderr,
-                             "[dir %u] invforown line=%llx owner=%u req=%u\n",
-                             node_, (unsigned long long)line_addr, owner,
-                             req);
+            FSOI_TRACE_POINT(TraceCat::Coherence, 2, "inv_for_own", now_,
+                             node_, {"line", line_addr}, {"owner", owner},
+                             {"req", req});
         } else {
             txn.kind = Txn::Kind::DwgForSh;
             demand.type = MsgType::Dwg;
             stats_.downgrades_sent++;
-            if (traceEnabled())
-                std::fprintf(stderr,
-                             "[dir %u] dwgforsh line=%llx owner=%u req=%u\n",
-                             node_, (unsigned long long)line_addr, owner,
-                             req);
+            FSOI_TRACE_POINT(TraceCat::Coherence, 2, "dwg_for_sh", now_,
+                             node_, {"line", line_addr}, {"owner", owner},
+                             {"req", req});
         }
         queueSend(owner, demand, config_.ctrl_latency);
         txns_[line_addr] = std::move(txn);
@@ -398,10 +414,9 @@ Directory::makeRoomL2(Addr line_addr)
         demand.type = MsgType::Inv;
         demand.explicit_ack = true;
         stats_.invalidations_sent++;
-        if (traceEnabled())
-            std::fprintf(stderr, "[dir %u] evict-owned line=%llx owner=%u\n",
-                         node_, (unsigned long long)slot->tag,
-                         slot->meta.owner);
+        FSOI_TRACE_POINT(TraceCat::Coherence, 2, "evict_owned", now_,
+                         node_, {"line", slot->tag},
+                         {"owner", slot->meta.owner});
         queueSend(slot->meta.owner, demand, config_.ctrl_latency);
     }
     txns_[slot->tag] = std::move(txn);
@@ -493,18 +508,12 @@ Directory::handleInvAck(const Message &msg, bool with_data)
 {
     const Addr line_addr = msg.line;
     auto it = txns_.find(line_addr);
-    if (traceEnabled())
-        std::fprintf(stderr,
-                     "[dir %u] invack line=%llx from=%u data=%d txn=%d "
-                     "acks=%d\n",
-                     node_, (unsigned long long)line_addr, msg.requester,
-                     (int)with_data,
-                     it == txns_.end() ? -1 : (int)it->second.kind,
-                     it == txns_.end() ? -1 : it->second.acks_pending);
+    FSOI_TRACE_POINT(TraceCat::Coherence, 3, "invack", now_, node_,
+                     {"line", line_addr}, {"from", msg.requester},
+                     {"data", with_data ? 1u : 0u});
     if (it == txns_.end()) {
-        if (traceEnabled())
-            std::fprintf(stderr, "[dir %u] stale invack line=%llx\n",
-                         node_, (unsigned long long)line_addr);
+        FSOI_TRACE_POINT(TraceCat::Coherence, 3, "stale_invack", now_,
+                         node_, {"line", line_addr});
         stats_.stale_acks_dropped++;
         return;
     }
@@ -572,10 +581,9 @@ Directory::handleDwgAck(const Message &msg, bool with_data)
 {
     const Addr line_addr = msg.line;
     auto it = txns_.find(line_addr);
-    if (traceEnabled())
-        std::fprintf(stderr, "[dir %u] dwgack line=%llx data=%d txn=%d\n",
-                     node_, (unsigned long long)line_addr, (int)with_data,
-                     it == txns_.end() ? -1 : (int)it->second.kind);
+    FSOI_TRACE_POINT(TraceCat::Coherence, 3, "dwgack", now_, node_,
+                     {"line", line_addr},
+                     {"data", with_data ? 1u : 0u});
     if (it == txns_.end() || it->second.kind != Txn::Kind::DwgForSh) {
         stats_.stale_acks_dropped++;
         return;
@@ -745,10 +753,9 @@ Directory::tick(Cycle now)
     for (int p = 0; p < config_.ports && !inQueue_.empty(); ++p) {
         Message msg = std::move(inQueue_.front());
         inQueue_.pop_front();
-        if (traceEnabled() && (msg.type == MsgType::InvAck
-                                     || msg.type == MsgType::InvAckData))
-            std::fprintf(stderr, "[dir %u] deq invack line=%llx\n",
-                         node_, (unsigned long long)msg.line);
+        if (msg.type == MsgType::InvAck || msg.type == MsgType::InvAckData)
+            FSOI_TRACE_POINT(TraceCat::Coherence, 3, "deq_invack", now_,
+                             node_, {"line", msg.line});
         dispatch(msg);
     }
 }

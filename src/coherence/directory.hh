@@ -32,6 +32,7 @@
 #include "coherence/message.hh"
 #include "coherence/transport.hh"
 #include "common/stats.hh"
+#include "obs/stat_registry.hh"
 
 namespace fsoi::coherence {
 
@@ -91,6 +92,9 @@ class Directory
     NodeId node() const { return node_; }
     const DirStats &stats() const { return stats_; }
     const DirConfig &config() const { return config_; }
+
+    /** Publish this directory's stats under @p scope (e.g. dir3). */
+    void registerStats(const obs::Scope &scope) const;
 
     /** Handle a message delivered by the transport. */
     void handleMessage(const Message &msg);

@@ -38,6 +38,32 @@ L1Cache::lineState(Addr addr) const
 }
 
 void
+L1Cache::registerStats(const obs::Scope &scope) const
+{
+    scope.counter("loads", stats_.loads);
+    scope.counter("stores", stats_.stores);
+    scope.counter("load_hits", stats_.load_hits);
+    scope.counter("store_hits", stats_.store_hits);
+    scope.counter("misses", stats_.misses);
+    scope.counter("upgrades", stats_.upgrades);
+    scope.counter("writebacks", stats_.writebacks);
+    scope.counter("invalidations_received",
+                  stats_.invalidations_received);
+    scope.counter("downgrades_received", stats_.downgrades_received);
+    scope.counter("nacks", stats_.nacks);
+    scope.counter("sc_failures", stats_.sc_failures);
+    scope.counter("accesses", stats_.l1_accesses);
+    scope.histogram("miss_latency", stats_.miss_latency);
+    scope.derived("miss_rate", [this] {
+        const auto accesses =
+            stats_.loads.value() + stats_.stores.value();
+        return accesses
+            ? static_cast<double>(stats_.misses.value()) / accesses
+            : 0.0;
+    });
+}
+
+void
 L1Cache::queueSend(NodeId dst, const Message &msg)
 {
     outbox_.push_back(OutMsg{dst, msg});
@@ -367,11 +393,12 @@ L1Cache::handleInv(const Message &msg)
 
     auto it = mshrs_.find(line);
     auto *ln = array_.find(line);
-    if (traceEnabled())
-        std::fprintf(stderr, "[l1 %u] inv line=%llx mshr=%d ln=%s\n",
-                     node_, (unsigned long long)line,
-                     (int)(it != mshrs_.end()),
-                     ln ? l1StateName(ln->meta.state) : "none");
+    FSOI_TRACE_POINT(TraceCat::Coherence, 2, "inv", now_, node_,
+                     {"line", line},
+                     {"mshr", it != mshrs_.end() ? 1u : 0u},
+                     {"state",
+                      ln ? static_cast<std::uint64_t>(ln->meta.state) + 1
+                         : 0});
 
     Message ack{};
     ack.line = line;
@@ -427,9 +454,8 @@ L1Cache::handleInv(const Message &msg)
     // I + Inv -> InvAck / I).
     if (!config_.confirmation_acks || msg.explicit_ack) {
         ack.type = MsgType::InvAck;
-        if (traceEnabled())
-            std::fprintf(stderr, "[l1 %u] stale-ack line=%llx -> %u\n",
-                         node_, (unsigned long long)line, homeOf_(line));
+        FSOI_TRACE_POINT(TraceCat::Coherence, 3, "stale_ack", now_,
+                         node_, {"line", line}, {"home", homeOf_(line)});
         queueSend(homeOf_(line), ack);
     }
 }
@@ -439,12 +465,15 @@ L1Cache::handleDwg(const Message &msg)
 {
     const Addr line = msg.line;
     stats_.downgrades_received++;
-    if (traceEnabled()) {
+    if (traceEnabled(TraceCat::Coherence, 2)) {
         const auto *lnp = array_.peek(line);
-        std::fprintf(stderr, "[l1 %u] dwg line=%llx mshr=%d ln=%s\n",
-                     node_, (unsigned long long)line,
-                     (int)(mshrs_.count(line) != 0),
-                     lnp ? l1StateName(lnp->meta.state) : "none");
+        tracer().instant(TraceCat::Coherence, "dwg", now_, node_,
+                         {{"line", line},
+                          {"mshr", mshrs_.count(line) != 0 ? 1u : 0u},
+                          {"state",
+                           lnp ? static_cast<std::uint64_t>(
+                                     lnp->meta.state) + 1
+                               : 0}});
     }
 
     Message ack{};

@@ -32,6 +32,7 @@
 #include "coherence/message.hh"
 #include "coherence/transport.hh"
 #include "common/stats.hh"
+#include "obs/stat_registry.hh"
 
 namespace fsoi::coherence {
 
@@ -93,6 +94,9 @@ class L1Cache
     NodeId node() const { return node_; }
     const L1Stats &stats() const { return stats_; }
     const L1Config &config() const { return config_; }
+
+    /** Publish this cache's stats under @p scope (e.g. core3.l1). */
+    void registerStats(const obs::Scope &scope) const;
 
     /**
      * Issue a load. Returns false when no MSHR is available (the core

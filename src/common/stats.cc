@@ -14,10 +14,14 @@ double
 Histogram::quantile(double q) const
 {
     FSOI_ASSERT(q >= 0.0 && q <= 1.0);
-    if (total_ == 0)
+    if (total_ == 0 || q == 0.0)
         return 0.0;
     const double target = q * static_cast<double>(total_);
-    std::uint64_t running = 0;
+    // Underflow samples sit below every bin; the smallest reportable
+    // boundary for a quantile inside that mass is 0.
+    std::uint64_t running = underflow_;
+    if (static_cast<double>(running) >= target)
+        return 0.0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         running += bins_[i];
         if (static_cast<double>(running) >= target)

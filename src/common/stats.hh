@@ -24,8 +24,15 @@ namespace fsoi {
 class Counter
 {
   public:
+    Counter &operator++() { ++value_; return *this; }
     void operator++(int) { ++value_; }
     void operator+=(std::uint64_t n) { value_ += n; }
+    /** Merge another counter (registry aggregation across tiles). */
+    Counter &operator+=(const Counter &other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
@@ -84,10 +91,11 @@ class Accumulator
 };
 
 /**
- * Fixed-bin-width histogram with an overflow bucket.
+ * Fixed-bin-width histogram with underflow and overflow buckets.
  *
  * Bin i covers [i * binWidth, (i + 1) * binWidth); samples at or past
- * numBins * binWidth land in the overflow bucket.
+ * numBins * binWidth land in the overflow bucket, negative samples in
+ * the underflow counter.
  */
 class Histogram
 {
@@ -103,9 +111,11 @@ class Histogram
     {
         total_ += 1;
         acc_.add(x);
-        std::size_t idx = x < 0.0
-            ? 0
-            : static_cast<std::size_t>(x / binWidth_);
+        if (x < 0.0) {
+            underflow_ += 1;
+            return;
+        }
+        auto idx = static_cast<std::size_t>(x / binWidth_);
         if (idx >= bins_.size() - 1)
             idx = bins_.size() - 1; // overflow bucket
         bins_[idx] += 1;
@@ -118,6 +128,7 @@ class Histogram
     std::size_t numBins() const { return bins_.size() - 1; }
     std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
     std::uint64_t overflow() const { return bins_.back(); }
+    std::uint64_t underflow() const { return underflow_; }
 
     /** Fraction of samples in bin i. */
     double
@@ -133,6 +144,7 @@ class Histogram
     reset()
     {
         total_ = 0;
+        underflow_ = 0;
         acc_.reset();
         std::fill(bins_.begin(), bins_.end(), 0);
     }
@@ -140,6 +152,7 @@ class Histogram
   private:
     double binWidth_;
     std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
     Accumulator acc_;
     std::vector<std::uint64_t> bins_;
 };

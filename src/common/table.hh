@@ -35,6 +35,10 @@ class TextTable
     /** Render with column padding to the stream. */
     void print(std::ostream &os) const;
 
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    { return rows_; }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

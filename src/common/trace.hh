@@ -1,24 +1,62 @@
 /**
  * @file
- * Protocol-trace gate. Tracing is enabled by setting FSOI_TRACE=1 in
- * the environment; the flag is read once so the check is a single
- * branch in hot paths.
+ * Protocol-trace gate. Historically FSOI_TRACE=1 toggled a bare bool
+ * that a handful of fprintf sites checked; the gate now fronts the
+ * structured, leveled, per-category tracer in obs/tracer.hh, which
+ * records into a ring buffer and writes Chrome trace_event JSON.
+ * Components keep a single-branch fast path when tracing is off:
+ * FSOI_TRACE_POINT compiles to one level-table compare.
+ *
+ * Category/level selection: FSOI_TRACE=coherence,fsoi:2 (see
+ * obs/tracer.hh for the full syntax; plain FSOI_TRACE=1 still works
+ * and enables everything at level 1).
  */
 
 #ifndef FSOI_COMMON_TRACE_HH
 #define FSOI_COMMON_TRACE_HH
 
-#include <cstdlib>
+#include "obs/tracer.hh"
 
 namespace fsoi {
 
-/** True when FSOI_TRACE is set; evaluated once per process. */
-inline bool
-traceEnabled()
+using obs::TraceCat;
+
+/** The process-wide tracer (see obs::Tracer). */
+inline obs::Tracer &
+tracer()
 {
-    static const bool enabled = std::getenv("FSOI_TRACE") != nullptr;
-    return enabled;
+    return obs::Tracer::instance();
 }
+
+/** True when @p cat records events at @p level. */
+inline bool
+traceEnabled(TraceCat cat, int level = 1)
+{
+    return tracer().enabled(cat, level);
+}
+
+/**
+ * Record an instant event when the category/level is enabled. Extra
+ * arguments are obs::TraceArg brace lists, e.g.
+ *   FSOI_TRACE_POINT(TraceCat::Fsoi, 2, "collision", now, dst,
+ *                    {"colliders", n});
+ */
+#define FSOI_TRACE_POINT(cat, level, name, ts, tid, ...)                \
+    do {                                                                \
+        auto &fsoi_tr_ = ::fsoi::obs::Tracer::instance();               \
+        if (fsoi_tr_.enabled((cat), (level)))                           \
+            fsoi_tr_.instant((cat), (name), (ts), (tid),                \
+                             {__VA_ARGS__});                            \
+    } while (0)
+
+/** As FSOI_TRACE_POINT, for a complete event spanning [ts, ts+dur). */
+#define FSOI_TRACE_SPAN(cat, level, name, ts, dur, tid, ...)            \
+    do {                                                                \
+        auto &fsoi_tr_ = ::fsoi::obs::Tracer::instance();               \
+        if (fsoi_tr_.enabled((cat), (level)))                          \
+            fsoi_tr_.complete((cat), (name), (ts), (dur), (tid),        \
+                              {__VA_ARGS__});                           \
+    } while (0)
 
 } // namespace fsoi
 

@@ -22,6 +22,20 @@ Core::Core(NodeId node, const CoreConfig &config, coherence::L1Cache &l1,
 }
 
 void
+Core::registerStats(const obs::Scope &scope) const
+{
+    scope.counter("instructions", stats_.instructions);
+    scope.counter("loads", stats_.loads);
+    scope.counter("stores", stats_.stores);
+    scope.counter("locks_acquired", stats_.locks_acquired);
+    scope.counter("barriers_passed", stats_.barriers_passed);
+    scope.counter("spin_loops", stats_.spin_loops);
+    scope.counter("stall_cycles", stats_.stall_cycles);
+    scope.counter("active_cycles", stats_.active_cycles);
+    scope.counter("sync_packets", stats_.sync_packets);
+}
+
+void
 Core::bind(std::unique_ptr<workload::InstrStream> stream)
 {
     stream_ = std::move(stream);

@@ -71,6 +71,9 @@ class Core
     NodeId node() const { return node_; }
     const CoreStats &stats() const { return stats_; }
 
+    /** Publish this core's stats under @p scope (e.g. core3). */
+    void registerStats(const obs::Scope &scope) const;
+
     /** Attach the thread's instruction stream (before the first tick). */
     void bind(std::unique_ptr<workload::InstrStream> stream);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace fsoi::fsoi {
 
@@ -85,6 +86,42 @@ FsoiNetwork::dataCollisionEventsTotal() const
     for (const auto &c : dataCollisionEvents_)
         total += c.value();
     return total;
+}
+
+void
+FsoiNetwork::registerStats(const obs::Scope &scope) const
+{
+    Network::registerStats(scope);
+
+    const obs::Scope activity = scope.scope("activity");
+    activity.counter("vcsel_slot_cycles", activity_.vcsel_slot_cycles);
+    activity.counter("bits_transmitted", activity_.bits_transmitted);
+    activity.counter("confirmations", activity_.confirmations);
+    activity.counter("control_bits", activity_.control_bits);
+    activity.counter("phase_setups", activity_.phase_setups);
+
+    const obs::Scope events = scope.scope("data_collisions");
+    for (int c = 0; c < static_cast<int>(CollisionCategory::kCount);
+         ++c) {
+        events.counter(
+            collisionCategoryName(static_cast<CollisionCategory>(c)),
+            dataCollisionEvents_[c]);
+    }
+    scope.accumulator("data_resolution_delay", dataResolution_);
+
+    const obs::Scope slots = scope.scope("slots_elapsed");
+    slots.counter("meta",
+                  slotsElapsed_[static_cast<int>(PacketClass::Meta)]);
+    slots.counter("data",
+                  slotsElapsed_[static_cast<int>(PacketClass::Data)]);
+
+    const obs::Scope txp = scope.scope("tx_probability");
+    txp.derived("meta", [this] {
+        return transmissionProbability(PacketClass::Meta);
+    });
+    txp.derived("data", [this] {
+        return transmissionProbability(PacketClass::Data);
+    });
 }
 
 FsoiNetwork::TxLane &
@@ -189,6 +226,9 @@ FsoiNetwork::send(Packet &&pkt)
     }
     pkt.sched_delay = release_at - pkt.created;
 
+    FSOI_TRACE_POINT(TraceCat::Fsoi, 2, "request", pkt.created, pkt.src,
+                     {"id", pkt.id}, {"dst", pkt.dst},
+                     {"kind", static_cast<std::uint64_t>(pkt.kind)});
     lane(pkt.src, pkt.cls).queue.push_back(
         QueuedPacket{std::move(pkt), release_at});
     ++packetsInFlight_;
@@ -203,6 +243,8 @@ FsoiNetwork::sendControlBit(NodeId src, NodeId dst, std::uint64_t tag)
     controlBits_.push_back(ControlBitEvent{
         now() + config_.confirmation_delay + 1, src, dst, tag});
     activity_.control_bits++;
+    FSOI_TRACE_POINT(TraceCat::Fsoi, 3, "control_bit", now(), src,
+                     {"dst", dst}, {"tag", tag});
 }
 
 void
@@ -235,6 +277,8 @@ FsoiNetwork::processConfirmations(Cycle now)
         }
         if (evt.success) {
             activity_.confirmations++;
+            FSOI_TRACE_POINT(TraceCat::Fsoi, 3, "confirm", now,
+                             evt.pkt.src, {"id", evt.pkt.id});
             auto &handler = confirmHandlers_[evt.pkt.src];
             if (handler)
                 handler(evt.pkt);
@@ -259,6 +303,10 @@ FsoiNetwork::processConfirmations(Cycle now)
                 static_cast<int>(rng_.nextRange(1, window));
             retry_at = base + static_cast<Cycle>(draw - 1) * slot_len;
         }
+        FSOI_TRACE_POINT(TraceCat::Fsoi, 2, "retry", now, pkt.src,
+                         {"id", pkt.id}, {"retries",
+                          static_cast<std::uint64_t>(pkt.retries)},
+                         {"retry_at", retry_at});
         lane(pkt.src, pkt.cls).retries.push_back(
             RetryEntry{std::move(pkt), retry_at});
     }
@@ -321,6 +369,10 @@ FsoiNetwork::resolveSlot(PacketClass cls, Cycle now)
             confirmations_.push_back(ConfirmEvent{
                 now + config_.confirmation_delay, true, false,
                 std::move(confirm_copy)});
+            FSOI_TRACE_POINT(TraceCat::Fsoi, 2, "grant", now, pkt.dst,
+                             {"id", pkt.id}, {"src", pkt.src},
+                             {"retries",
+                              static_cast<std::uint64_t>(pkt.retries)});
             deliver(pkt);
             --packetsInFlight_;
             continue;
@@ -328,9 +380,18 @@ FsoiNetwork::resolveSlot(PacketClass cls, Cycle now)
         // Collision: the receiver sees the OR of the beams; the
         // PID/~PID check flags corruption. Every packet involved must
         // be retransmitted.
+        CollisionCategory category = CollisionCategory::Other;
         if (cls == PacketClass::Data) {
-            dataCollisionEvents_[static_cast<int>(classify(txs))]++;
+            category = classify(txs);
+            dataCollisionEvents_[static_cast<int>(category)]++;
         }
+        FSOI_TRACE_POINT(TraceCat::Fsoi, 1, "collision", now,
+                         txs[0]->pkt.dst,
+                         {"colliders",
+                          static_cast<std::uint64_t>(txs.size())},
+                         {"class", static_cast<std::uint64_t>(cls)},
+                         {"category",
+                          static_cast<std::uint64_t>(category)});
         int winner = -1;
         if (config_.collision_hints && cls == PacketClass::Data
             && rng_.nextBool(config_.hint_accuracy)) {
@@ -403,6 +464,9 @@ FsoiNetwork::startSlot(PacketClass cls, Cycle now)
         if (pkt.first_tx == kNoCycle)
             pkt.first_tx = now;
         pkt.final_tx = now;
+        FSOI_TRACE_SPAN(TraceCat::Fsoi, 3, "tx", now,
+                        static_cast<Cycle>(slot_len), node,
+                        {"id", pkt.id}, {"dst", pkt.dst});
         stats().recordAttempt(cls);
         activity_.vcsel_slot_cycles +=
             static_cast<std::uint64_t>(slot_len) * vcsels;

@@ -119,6 +119,7 @@ class FsoiNetwork : public noc::Network
     bool canAccept(NodeId src, PacketClass cls) const override;
     void tick(Cycle now) override;
     bool idle() const override;
+    void registerStats(const obs::Scope &scope) const override;
 
     void setConfirmHandler(NodeId node, ConfirmHandler handler);
     void setControlBitHandler(NodeId node, ControlBitHandler handler);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace fsoi::memory {
 
@@ -16,6 +17,15 @@ MemoryController::MemoryController(NodeId node, const MemConfig &config,
 {
     FSOI_ASSERT(config_.bytes_per_cycle > 0.0);
     FSOI_ASSERT(config_.latency >= 1);
+}
+
+void
+MemoryController::registerStats(const obs::Scope &scope) const
+{
+    scope.counter("reads", stats_.reads);
+    scope.counter("writes", stats_.writes);
+    scope.counter("busy_cycles", stats_.busy_cycles);
+    scope.accumulator("queue_delay", stats_.queue_delay);
 }
 
 Cycle
@@ -36,6 +46,9 @@ MemoryController::handleMessage(const Message &msg)
     switch (msg.type) {
       case MsgType::MemRead: {
         stats_.reads++;
+        FSOI_TRACE_POINT(TraceCat::Mem, 2, "read", now_, node_,
+                         {"line", msg.line}, {"from", msg.requester},
+                         {"queued", start - now_});
         Message reply{};
         reply.type = MsgType::MemReply;
         reply.line = msg.line;
@@ -47,6 +60,9 @@ MemoryController::handleMessage(const Message &msg)
       }
       case MsgType::MemWrite:
         stats_.writes++; // posted: no response
+        FSOI_TRACE_POINT(TraceCat::Mem, 2, "write", now_, node_,
+                         {"line", msg.line}, {"from", msg.requester},
+                         {"queued", start - now_});
         return;
       default:
         panic("memory controller %u: unexpected message %s", node_,

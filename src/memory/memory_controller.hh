@@ -19,6 +19,7 @@
 #include "coherence/message.hh"
 #include "coherence/transport.hh"
 #include "common/stats.hh"
+#include "obs/stat_registry.hh"
 
 namespace fsoi::memory {
 
@@ -50,6 +51,9 @@ class MemoryController
 
     NodeId node() const { return node_; }
     const MemStats &stats() const { return stats_; }
+
+    /** Publish this channel's stats under @p scope (e.g. mem0). */
+    void registerStats(const obs::Scope &scope) const;
 
     /** Handle MemRead / MemWrite from a directory. */
     void handleMessage(const coherence::Message &msg);

@@ -206,6 +206,19 @@ MeshNetwork::localPortOf(NodeId endpoint) const
     return kFirstLocal + 1;
 }
 
+void
+MeshNetwork::registerStats(const obs::Scope &scope) const
+{
+    Network::registerStats(scope);
+    const obs::Scope activity = scope.scope("activity");
+    activity.counter("buffer_writes", activity_.buffer_writes);
+    activity.counter("buffer_reads", activity_.buffer_reads);
+    activity.counter("crossbar_traversals",
+                     activity_.crossbar_traversals);
+    activity.counter("link_traversals", activity_.link_traversals);
+    activity.counter("arbitrations", activity_.arbitrations);
+}
+
 bool
 MeshNetwork::canAccept(NodeId src, PacketClass cls) const
 {
@@ -256,12 +269,9 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
             continue;
         auto pkt = std::make_shared<Packet>(std::move(lane.queue.front()));
         lane.queue.pop_front();
-        if (traceEnabled() && pkt->kind == PacketKind::Ack
-            && pkt->src == 2)
-            std::fprintf(stderr,
-                         "[mesh] start pkt %llu ack %u->%u vc=%d\n",
-                         (unsigned long long)pkt->id, pkt->src, pkt->dst,
-                         vc);
+        FSOI_TRACE_POINT(TraceCat::Noc, 3, "inject", now(), pkt->src,
+                         {"id", pkt->id}, {"dst", pkt->dst},
+                         {"vc", static_cast<std::uint64_t>(vc)});
         pkt->first_tx = now();
         pkt->final_tx = now();
         stats().recordAttempt(pkt->cls);
@@ -443,14 +453,14 @@ MeshNetwork::tick(Cycle now)
             }
             if (oport.local) {
                 if (flit.tail) {
-                    if (traceEnabled()
-                        && flit.pkt->kind == PacketKind::Ack
-                        && flit.pkt->src == 2)
-                        std::fprintf(stderr,
-                                     "[mesh] eject pkt %llu at r%d "
-                                     "port %zu\n",
-                                     (unsigned long long)flit.pkt->id,
-                                     router.id, o);
+                    FSOI_TRACE_POINT(TraceCat::Noc, 3, "eject", now,
+                                     flit.pkt->dst,
+                                     {"id", flit.pkt->id},
+                                     {"router",
+                                      static_cast<std::uint64_t>(
+                                          router.id)},
+                                     {"port",
+                                      static_cast<std::uint64_t>(o)});
                     pending_.push_back(
                         {now + static_cast<Cycle>(config_.link_cycles),
                          flit.pkt});

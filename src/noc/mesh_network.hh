@@ -69,6 +69,7 @@ class MeshNetwork : public Network
     bool canAccept(NodeId src, PacketClass cls) const override;
     void tick(Cycle now) override;
     bool idle() const override;
+    void registerStats(const obs::Scope &scope) const override;
 
     const MeshActivity &activity() const { return activity_; }
     const MeshConfig &config() const { return config_; }

@@ -33,6 +33,45 @@ NetworkStats::recordDelivery(const Packet &pkt)
 }
 
 void
+NetworkStats::registerStats(const obs::Scope &scope) const
+{
+    const obs::Scope delivered = scope.scope("delivered");
+    delivered.counter("meta", deliveredCount_[index(PacketClass::Meta)]);
+    delivered.counter("data", deliveredCount_[index(PacketClass::Data)]);
+    delivered.derived("total", [this] {
+        return static_cast<double>(deliveredTotal());
+    });
+
+    const obs::Scope collisions = scope.scope("collisions");
+    collisions.counter("meta", collisions_[index(PacketClass::Meta)]);
+    collisions.counter("data", collisions_[index(PacketClass::Data)]);
+    const obs::Scope by_kind = collisions.scope("by_kind");
+    for (int k = 0; k <= static_cast<int>(PacketKind::Control); ++k) {
+        by_kind.counter(packetKindName(static_cast<PacketKind>(k)),
+                        collisionsByKind_[k]);
+    }
+
+    const obs::Scope attempts = scope.scope("attempts");
+    attempts.counter("meta", attempts_[index(PacketClass::Meta)]);
+    attempts.counter("data", attempts_[index(PacketClass::Data)]);
+
+    const obs::Scope rate = scope.scope("collision_rate");
+    rate.derived("meta",
+                 [this] { return collisionRate(PacketClass::Meta); });
+    rate.derived("data",
+                 [this] { return collisionRate(PacketClass::Data); });
+
+    const obs::Scope latency = scope.scope("latency");
+    latency.accumulator("total", total_);
+    latency.accumulator("queuing", queuing_);
+    latency.accumulator("scheduling", scheduling_);
+    latency.accumulator("network", network_);
+    latency.accumulator("collision_resolution", collision_);
+    latency.accumulator("meta", perClass_[index(PacketClass::Meta)]);
+    latency.accumulator("data", perClass_[index(PacketClass::Data)]);
+}
+
+void
 NetworkStats::reset()
 {
     for (auto &c : deliveredCount_)

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
+#include "obs/stat_registry.hh"
 
 namespace fsoi::noc {
 
@@ -68,6 +69,9 @@ class NetworkStats
     const Accumulator &collisionResolution() const { return collision_; }
     const Accumulator &latencyOf(PacketClass cls) const
     { return perClass_[index(cls)]; }
+
+    /** Publish every stat under @p scope (delivered.*, latency.*, ...). */
+    void registerStats(const obs::Scope &scope) const;
 
     void reset();
 
@@ -126,6 +130,14 @@ class Network
 
     NetworkStats &stats() { return stats_; }
     const NetworkStats &stats() const { return stats_; }
+
+    /**
+     * Publish this interconnect's stats under @p scope. The base
+     * registers the shared NetworkStats; implementations extend it
+     * with their own counters (mesh activity, FSOI collisions, ...).
+     */
+    virtual void registerStats(const obs::Scope &scope) const
+    { stats_.registerStats(scope); }
 
   protected:
     /** Timestamp + id bookkeeping every implementation shares. */

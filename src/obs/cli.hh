@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared command-line knobs for the observability layer. Every example
+ * and bench main strips these before its own positional arguments:
+ *
+ *   --stats-json=FILE     end-of-run registry dump as JSON, or, when
+ *                         --stats-interval is given, a JSON-lines time
+ *                         series with one record per epoch ("-" = stdout)
+ *   --stats-csv=FILE      same in CSV form
+ *   --stats-interval=N    sample every N cycles
+ *   --stats               print the text stat tree to stdout at exit
+ *
+ * Tracing is configured through the environment (FSOI_TRACE /
+ * FSOI_TRACE_FILE), not argv, so it works identically under ctest,
+ * benches, and user programs; see obs/tracer.hh.
+ */
+
+#ifndef FSOI_OBS_CLI_HH
+#define FSOI_OBS_CLI_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace fsoi::obs {
+
+struct CliOptions
+{
+    std::string stats_json; //!< empty = off, "-" = stdout
+    std::string stats_csv;  //!< empty = off, "-" = stdout
+    Cycle stats_interval = 0; //!< 0 = end-of-run dump only
+    bool stats_text = false;
+
+    bool any() const
+    { return stats_text || !stats_json.empty() || !stats_csv.empty(); }
+};
+
+/**
+ * Strip recognized --stats-* flags out of argv (compacting it in
+ * place and updating argc) and return the parsed options, so the
+ * caller's positional-argument handling is unaffected.
+ */
+CliOptions parseCliOptions(int &argc, char **argv);
+
+} // namespace fsoi::obs
+
+#endif // FSOI_OBS_CLI_HH

@@ -1,0 +1,63 @@
+#include "sim/stats_io.hh"
+
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace fsoi::sim {
+
+std::ostream &
+StatsIo::open(const std::string &path, std::ofstream &file)
+{
+    if (path == "-")
+        return std::cout;
+    if (!file.is_open()) {
+        file.open(path, std::ios::app);
+        if (!file)
+            fatal("cannot open stats output '%s'", path.c_str());
+    }
+    return file;
+}
+
+StatsIo::StatsIo(System &system, const obs::CliOptions &opts)
+    : system_(system), opts_(opts)
+{
+    if (opts_.stats_interval == 0)
+        return;
+    // The sampler writes one record per epoch; the first requested
+    // format carries the series, the other still gets a final dump.
+    if (!opts_.stats_json.empty()) {
+        system_.attachSampler(opts_.stats_interval,
+                              open(opts_.stats_json, jsonFile_),
+                              obs::IntervalSampler::Format::Jsonl);
+        jsonSampled_ = true;
+    } else if (!opts_.stats_csv.empty()) {
+        system_.attachSampler(opts_.stats_interval,
+                              open(opts_.stats_csv, csvFile_),
+                              obs::IntervalSampler::Format::Csv);
+        csvSampled_ = true;
+    }
+}
+
+void
+StatsIo::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (!opts_.stats_json.empty() && !jsonSampled_)
+        system_.writeStatsJson(open(opts_.stats_json, jsonFile_));
+    if (!opts_.stats_csv.empty() && !csvSampled_)
+        system_.writeStatsCsv(open(opts_.stats_csv, csvFile_));
+    if (opts_.stats_text)
+        system_.writeStatsText(std::cout);
+    jsonFile_.flush();
+    csvFile_.flush();
+}
+
+StatsIo::~StatsIo()
+{
+    finish();
+}
+
+} // namespace fsoi::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Glue between the --stats-* command-line knobs (obs/cli.hh) and one
+ * System: attaches the interval sampler before run() and writes the
+ * end-of-run dumps afterwards. Owns the output file streams, so a
+ * StatsIo must outlive the System's run.
+ *
+ * Typical use in a main():
+ *
+ *   auto opts = obs::parseCliOptions(argc, argv);
+ *   sim::System system(cfg);
+ *   sim::StatsIo stats(system, opts);   // attaches sampler if asked
+ *   auto res = system.run();
+ *   stats.finish();                     // end-of-run dumps
+ *
+ * A path of "-" means stdout. With --stats-interval the JSON/CSV file
+ * carries the time series; without it, a single end-of-run snapshot.
+ * Output files are opened in append mode so a main() that runs several
+ * systems against the same knobs produces one concatenated series
+ * (JSON dumps are one object per line, i.e. valid JSON-lines).
+ */
+
+#ifndef FSOI_SIM_STATS_IO_HH
+#define FSOI_SIM_STATS_IO_HH
+
+#include <fstream>
+#include <string>
+
+#include "obs/cli.hh"
+#include "sim/system.hh"
+
+namespace fsoi::sim {
+
+class StatsIo
+{
+  public:
+    StatsIo(System &system, const obs::CliOptions &opts);
+    ~StatsIo();
+
+    StatsIo(const StatsIo &) = delete;
+    StatsIo &operator=(const StatsIo &) = delete;
+
+    /** Write the end-of-run dumps; safe to call once after run(). */
+    void finish();
+
+  private:
+    std::ostream &open(const std::string &path, std::ofstream &file);
+
+    System &system_;
+    obs::CliOptions opts_;
+    std::ofstream jsonFile_;
+    std::ofstream csvFile_;
+    bool jsonSampled_ = false; //!< json sink carries the time series
+    bool csvSampled_ = false;
+    bool finished_ = false;
+};
+
+} // namespace fsoi::sim
+
+#endif // FSOI_SIM_STATS_IO_HH

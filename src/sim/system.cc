@@ -64,16 +64,12 @@ class System::LocalTransport : public coherence::Transport
         const PacketClass cls = coherence::isDataMessage(msg.type)
             ? PacketClass::Data : PacketClass::Meta;
         if (!sys_.network_->canAccept(src, cls)) {
-            if (traceEnabled() && msg.line == 0xf1000180
-                && msg.type == MsgType::InvAck)
-                std::fprintf(stderr, "[send] InvAck from=%u BLOCKED\n",
-                             src);
+            FSOI_TRACE_POINT(TraceCat::Sim, 3, "send_blocked",
+                             sys_.now_, src, {"line", msg.line},
+                             {"type",
+                              static_cast<std::uint64_t>(msg.type)});
             return false;
         }
-        if (traceEnabled() && msg.line == 0xf1000180
-            && msg.type == MsgType::InvAck)
-            std::fprintf(stderr, "[send] InvAck from=%u -> %u accepted\n",
-                         src, dst);
         Packet pkt = noc::makePacket(
             src, dst, cls, coherence::packetKindOf(msg.type),
             std::make_shared<Message>(msg));
@@ -161,9 +157,69 @@ System::System(const SystemConfig &config)
     }
 
     wireNetworkHandlers();
+    registerStats();
 }
 
 System::~System() = default;
+
+void
+System::registerStats()
+{
+    const obs::Scope root(registry_);
+    const obs::Scope sys = root.scope("system");
+    for (int n = 0; n < config_.num_cores; ++n) {
+        const std::string id = std::to_string(n);
+        const obs::Scope tile = sys.scope("core" + id);
+        cores_[n]->registerStats(tile);
+        l1s_[n]->registerStats(tile.scope("l1"));
+        dirs_[n]->registerStats(sys.scope("dir" + id));
+    }
+    for (int m = 0; m < config_.num_memctls; ++m)
+        memctls_[m]->registerStats(sys.scope("mem" + std::to_string(m)));
+
+    // The interconnect publishes under its kind so FSOI-only series
+    // (fsoi.collisions.data, ...) keep stable names across configs.
+    const char *net_scope = "net";
+    switch (config_.network) {
+      case NetKind::Mesh: net_scope = "mesh"; break;
+      case NetKind::Fsoi: net_scope = "fsoi"; break;
+      default: break;
+    }
+    network_->registerStats(root.scope(net_scope));
+
+    // Cross-tile aggregates (registry-side, not per-component).
+    sys.derived("instructions", [this] {
+        Counter total;
+        for (const auto &core : cores_)
+            total += core->stats().instructions;
+        return static_cast<double>(total.value());
+    });
+    sys.derived("l1.miss_rate", [this] {
+        Counter loads, stores, misses;
+        for (const auto &l1 : l1s_) {
+            loads += l1->stats().loads;
+            stores += l1->stats().stores;
+            misses += l1->stats().misses;
+        }
+        const auto accesses = loads.value() + stores.value();
+        return accesses
+            ? static_cast<double>(misses.value()) / accesses : 0.0;
+    });
+    sys.derived("invalidations", [this] {
+        Counter total;
+        for (const auto &l1 : l1s_)
+            total += l1->stats().invalidations_received;
+        return static_cast<double>(total.value());
+    });
+}
+
+void
+System::attachSampler(Cycle interval, std::ostream &os,
+                      obs::IntervalSampler::Format format)
+{
+    sampler_ = std::make_unique<obs::IntervalSampler>(registry_, interval,
+                                                      os, format);
+}
 
 NodeId
 System::homeOf(Addr addr) const
@@ -196,10 +252,10 @@ System::routeMessage(NodeId dst, const Message &msg)
       case MsgType::WriteBack:
       case MsgType::InvAck:
       case MsgType::InvAckData:
-        if (traceEnabled())
-            std::fprintf(stderr, "[route] %s line=%llx from=%u to dir %u\n",
-                         msgTypeName(msg.type),
-                         (unsigned long long)msg.line, msg.requester, dst);
+        FSOI_TRACE_POINT(TraceCat::Sim, 3, "route_to_dir", now_, dst,
+                         {"line", msg.line},
+                         {"type", static_cast<std::uint64_t>(msg.type)},
+                         {"from", msg.requester});
         [[fallthrough]];
       case MsgType::DwgAck:
       case MsgType::DwgAckData:
@@ -314,6 +370,9 @@ System::run()
         for (auto &core : cores_)
             core->tick(now_);
 
+        if (sampler_ && now_ >= sampler_->nextDue())
+            sampler_->sample(now_);
+
         if ((now_ & 0x1F) != 0)
             continue;
 
@@ -364,6 +423,8 @@ System::run()
     if (!completed)
         warn("run hit max_cycles=%llu before completing",
              static_cast<unsigned long long>(config_.max_cycles));
+    if (sampler_)
+        sampler_->finish(now_);
     return collectResult(now_, completed);
 }
 
@@ -388,33 +449,44 @@ System::collectResult(Cycle cycles, bool completed) const
     activity.cycles = res.cycles;
     activity.nodes = config_.num_cores;
 
-    std::uint64_t loads = 0, stores = 0, misses = 0;
+    Counter loads, stores, misses, invalidations, l1_accesses;
     for (const auto &l1 : l1s_) {
         const auto &s = l1->stats();
-        loads += s.loads.value();
-        stores += s.stores.value();
-        misses += s.misses.value();
-        activity.l1_accesses += s.l1_accesses.value();
-        res.invalidations += s.invalidations_received.value();
+        loads += s.loads;
+        stores += s.stores;
+        misses += s.misses;
+        l1_accesses += s.l1_accesses;
+        invalidations += s.invalidations_received;
     }
-    res.l1_miss_rate =
-        loads + stores ? static_cast<double>(misses) / (loads + stores)
-                       : 0.0;
+    res.invalidations = invalidations.value();
+    activity.l1_accesses += l1_accesses.value();
+    const auto accesses = loads.value() + stores.value();
+    res.l1_miss_rate = accesses
+        ? static_cast<double>(misses.value()) / accesses : 0.0;
 
+    Counter instructions, active, stalls, sync_packets;
     for (const auto &core : cores_) {
-        res.instructions += core->stats().instructions.value();
-        activity.active_cycles += core->stats().active_cycles.value();
-        activity.stall_cycles += core->stats().stall_cycles.value();
-        res.sync_packets += core->stats().sync_packets.value();
+        const auto &s = core->stats();
+        instructions += s.instructions;
+        active += s.active_cycles;
+        stalls += s.stall_cycles;
+        sync_packets += s.sync_packets;
     }
+    res.instructions = instructions.value();
+    res.sync_packets = sync_packets.value();
+    activity.active_cycles += active.value();
+    activity.stall_cycles += stalls.value();
     res.ipc = static_cast<double>(res.instructions) / res.cycles;
 
+    Counter l2_accesses, mem_accesses;
     for (const auto &dir : dirs_)
-        activity.l2_accesses += dir->stats().l2_accesses.value();
+        l2_accesses += dir->stats().l2_accesses;
     for (const auto &mem : memctls_) {
-        activity.mem_accesses +=
-            mem->stats().reads.value() + mem->stats().writes.value();
+        mem_accesses += mem->stats().reads;
+        mem_accesses += mem->stats().writes;
     }
+    activity.l2_accesses += l2_accesses.value();
+    activity.mem_accesses += mem_accesses.value();
 
     if (meshNet_) {
         activity.mesh = &meshNet_->activity();

@@ -28,6 +28,8 @@
 #include "memory/memory_controller.hh"
 #include "noc/ideal_network.hh"
 #include "noc/mesh_network.hh"
+#include "obs/sampler.hh"
+#include "obs/stat_registry.hh"
 #include "sim/energy_model.hh"
 #include "workload/apps.hh"
 
@@ -138,6 +140,32 @@ class System
     /** Memory controller endpoint for a line address. */
     NodeId memctlOf(Addr addr) const;
 
+    // --- observability ---
+
+    /**
+     * Every component's stats under hierarchical names
+     * (system.core3.l1.miss_rate, fsoi.collisions.data, ...).
+     */
+    obs::StatRegistry &statRegistry() { return registry_; }
+    const obs::StatRegistry &statRegistry() const { return registry_; }
+
+    /**
+     * Snapshot the registry every @p interval cycles during run(),
+     * appending one record per epoch to @p os. Call before run(); the
+     * stream must outlive the System.
+     */
+    void attachSampler(Cycle interval, std::ostream &os,
+                       obs::IntervalSampler::Format format =
+                           obs::IntervalSampler::Format::Jsonl);
+
+    /** End-of-run reporting through the registry visitor. */
+    void writeStatsText(std::ostream &os) const
+    { obs::writeText(registry_, os); }
+    void writeStatsJson(std::ostream &os) const
+    { obs::writeJson(registry_, os); }
+    void writeStatsCsv(std::ostream &os) const
+    { obs::writeCsv(registry_, os); }
+
   private:
     class LocalTransport;
     friend class LocalTransport;
@@ -151,6 +179,7 @@ class System
 
     void routeMessage(NodeId dst, const coherence::Message &msg);
     void wireNetworkHandlers();
+    void registerStats();
     bool quiescent() const;
     RunResult collectResult(Cycle cycles, bool completed) const;
 
@@ -170,6 +199,9 @@ class System
 
     std::deque<LocalMsg> localQueue_;
     Cycle now_ = 0;
+
+    obs::StatRegistry registry_;
+    std::unique_ptr<obs::IntervalSampler> sampler_;
 };
 
 } // namespace fsoi::sim

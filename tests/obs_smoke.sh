@@ -1,0 +1,31 @@
+#!/bin/sh
+# End-to-end smoke test for the observability layer: run the
+# quickstart example with interval stats sampling and full tracing on,
+# then validate that every emitted artifact is well-formed JSON.
+#
+#   obs_smoke.sh QUICKSTART_BIN CHECK_JSON_BIN WORK_DIR
+set -eu
+
+quickstart=$1
+check_json=$2
+workdir=$3
+
+mkdir -p "$workdir"
+stats="$workdir/obs_smoke_stats.jsonl"
+trace="$workdir/obs_smoke_trace.json"
+rm -f "$stats" "$trace"
+
+FSOI_TRACE=all:1 FSOI_TRACE_FILE="$trace" \
+    "$quickstart" fft 4 --stats-json="$stats" --stats-interval=10000 \
+    > "$workdir/obs_smoke_stdout.txt"
+
+test -s "$stats" || { echo "no stats emitted"; exit 1; }
+test -s "$trace" || { echo "no trace emitted"; exit 1; }
+
+"$check_json" --lines "$stats"
+"$check_json" "$trace"
+
+grep -q '"traceEvents"' "$trace" || {
+    echo "trace missing traceEvents array"; exit 1;
+}
+echo "obs smoke OK"

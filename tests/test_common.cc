@@ -127,6 +127,47 @@ TEST(Histogram, Quantile)
     EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram empty(1.0, 10);
+    EXPECT_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+    Histogram h(1.0, 4);
+    for (int i = 0; i < 4; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    // q=1 lands in the last occupied bin's upper edge.
+    EXPECT_NEAR(h.quantile(1.0), 4.0, 1e-12);
+
+    // Overflow-heavy distribution: high quantiles land on the overflow
+    // bin, reported as one bin width past the binned range.
+    Histogram heavy(1.0, 4);
+    heavy.add(0.5);
+    for (int i = 0; i < 99; ++i)
+        heavy.add(1000.0);
+    EXPECT_NEAR(heavy.quantile(0.99), 5.0, 1e-12);
+    EXPECT_NEAR(heavy.quantile(1.0), 5.0, 1e-12);
+}
+
+TEST(Histogram, UnderflowCountedSeparately)
+{
+    Histogram h(1.0, 4);
+    h.add(-3.0);
+    h.add(-0.001);
+    h.add(0.5);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.count(), 3u); // total still includes underflows
+    EXPECT_EQ(h.overflow(), 0u);
+    // Underflows sit below every bin, so they pull low quantiles to 0.
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
 TEST(Stats, GeometricMean)
 {
     EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
@@ -134,6 +175,11 @@ TEST(Stats, GeometricMean)
     EXPECT_EQ(geometricMean({}), 0.0);
     // Non-positive entries are ignored.
     EXPECT_NEAR(geometricMean({2.0, 8.0, 0.0, -1.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanAllNonPositive)
+{
+    EXPECT_EQ(geometricMean({0.0, -2.0, -5.0}), 0.0);
 }
 
 TEST(Counter, Accumulates)
@@ -144,6 +190,20 @@ TEST(Counter, Accumulates)
     EXPECT_EQ(c.value(), 5u);
     c.reset();
     EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, PrefixIncrementAndMerge)
+{
+    Counter a;
+    ++a;
+    ++(++a);
+    EXPECT_EQ(a.value(), 3u);
+
+    Counter b;
+    b += 7;
+    a += b; // merge another counter
+    EXPECT_EQ(a.value(), 10u);
+    EXPECT_EQ(b.value(), 7u);
 }
 
 TEST(TextTable, RendersAligned)
