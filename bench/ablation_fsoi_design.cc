@@ -39,17 +39,26 @@ struct Row
     double data_coll = 0;
 };
 
-Row
-runVariant(const Variant &variant, double scale)
+std::vector<std::future<sim::RunResult>>
+enqueueVariant(bench::Sweep &sweep, const Variant &variant, double scale)
 {
     const char *subset[] = {"ws", "mp3d", "tsp", "fft", "barnes"};
-    Row row;
-    int n = 0;
+    std::vector<std::future<sim::RunResult>> runs;
     for (const char *name : subset) {
         auto cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 3);
         variant.tweak(cfg);
-        const auto res = bench::runConfig(
-            cfg, workload::appByName(name), scale);
+        runs.push_back(sweep.run(cfg, workload::appByName(name), scale));
+    }
+    return runs;
+}
+
+Row
+collectVariant(std::vector<std::future<sim::RunResult>> &runs)
+{
+    Row row;
+    int n = 0;
+    for (auto &run : runs) {
+        const auto res = run.get();
         row.cycles += static_cast<double>(res.cycles);
         row.latency += res.avg_packet_latency;
         row.meta_coll += res.meta_collision_rate;
@@ -68,6 +77,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "ablation");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.2);
     bench::banner("Ablation", "FSOI design choices (16 nodes)");
 
@@ -106,9 +116,14 @@ main(int argc, char **argv)
 
     TextTable table({"variant", "rel. time", "pkt lat", "meta coll",
                      "data coll"});
+    std::vector<std::vector<std::future<sim::RunResult>>> queued;
+    for (const auto &variant : variants)
+        queued.push_back(enqueueVariant(sweep, variant, scale));
+
     double base_cycles = 0;
-    for (const auto &variant : variants) {
-        const Row row = runVariant(variant, scale);
+    for (std::size_t v = 0; v < queued.size(); ++v) {
+        const auto &variant = variants[v];
+        const Row row = collectVariant(queued[v]);
         if (base_cycles == 0)
             base_cycles = row.cycles;
         table.addRow({variant.name,

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,6 +24,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "obs/stat_registry.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "workload/apps.hh"
 
@@ -143,20 +145,66 @@ class FigureJson
     std::vector<TextTable> tables_;
 };
 
-/** Run one application on one system configuration. */
+/**
+ * Shared sweep front-end for the figure drivers: parses (and strips)
+ * `--jobs=N` from argv before the positional scale argument is read,
+ * and fans submitted runs across a sim::SweepRunner. N defaults to the
+ * hardware concurrency; `--jobs=1` executes inline, serially.
+ *
+ * Drivers enqueue every run of a figure first and then collect the
+ * futures in submission order, so stdout and `--json=FILE` output are
+ * byte-identical at any jobs level (each run is an independent,
+ * seeded, single-threaded System; see sim/sweep_runner.hh).
+ */
+class Sweep
+{
+  public:
+    Sweep(int &argc, char **argv)
+    {
+        int jobs = 0; // 0 = hardware concurrency
+        int keep = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg.rfind("--jobs=", 0) == 0)
+                jobs = std::atoi(arg.data() + 7);
+            else
+                argv[keep++] = argv[i];
+        }
+        argv[keep] = nullptr;
+        argc = keep;
+        runner_ = std::make_unique<sim::SweepRunner>(jobs);
+    }
+
+    int jobs() const { return runner_->jobs(); }
+    sim::SweepRunner &runner() { return *runner_; }
+
+    /** Enqueue one run; collect the future in submission order. */
+    std::future<sim::RunResult>
+    run(const sim::SystemConfig &cfg, const workload::AppProfile &app,
+        double scale)
+    {
+        return runner_->submit(sim::SweepJob{cfg, app, scale});
+    }
+
+    /** Enqueue one run and keep its System for inspection. */
+    std::future<sim::SweepOutcome>
+    runKeep(const sim::SystemConfig &cfg, const workload::AppProfile &app,
+            double scale)
+    {
+        return runner_->submitKeep(sim::SweepJob{cfg, app, scale});
+    }
+
+  private:
+    std::unique_ptr<sim::SweepRunner> runner_;
+};
+
+/** Run one application on one system configuration, synchronously. */
 inline sim::RunResult
 runConfig(const sim::SystemConfig &cfg, const workload::AppProfile &app,
-          double scale, sim::System **out_sys = nullptr)
+          double scale)
 {
-    static std::unique_ptr<sim::System> keeper;
-    auto sys = std::make_unique<sim::System>(cfg);
-    sys->loadApp(app.scaled(scale));
-    auto res = sys->run();
-    if (out_sys) {
-        keeper = std::move(sys);
-        *out_sys = keeper.get();
-    }
-    return res;
+    return sim::SweepRunner::runJob(sim::SweepJob{cfg, app, scale},
+                                    false).result;
 }
 
 /** Paper config for (cores, kind) with a chosen seed. */

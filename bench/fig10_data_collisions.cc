@@ -39,15 +39,25 @@ struct Sums
     }
 };
 
-Sums
-sweep(bool optimized, double scale)
+std::vector<std::future<sim::RunResult>>
+enqueueSweep(bench::Sweep &sweep, bool optimized, double scale)
 {
-    Sums sums;
-    int n = 0;
+    std::vector<std::future<sim::RunResult>> runs;
     for (const auto &app : bench::apps()) {
         auto cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
         cfg.opt_data_collision = optimized;
-        const auto res = bench::runConfig(cfg, app, scale);
+        runs.push_back(sweep.run(cfg, app, scale));
+    }
+    return runs;
+}
+
+Sums
+collectSweep(std::vector<std::future<sim::RunResult>> &runs)
+{
+    Sums sums;
+    int n = 0;
+    for (auto &run : runs) {
+        const auto res = run.get();
         for (int c = 0; c < 5; ++c)
             sums.by_cat[c] += res.data_collisions_by_cat[c];
         sums.coll_rate += res.data_collision_rate;
@@ -69,12 +79,15 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig10");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 10",
                   "data-lane collision breakdown, before/after opts");
 
-    const Sums before = sweep(false, scale);
-    const Sums after = sweep(true, scale);
+    auto before_runs = enqueueSweep(sweep, false, scale);
+    auto after_runs = enqueueSweep(sweep, true, scale);
+    const Sums before = collectSweep(before_runs);
+    const Sums after = collectSweep(after_runs);
 
     TextTable table({"category", "baseline", "optimized"});
     const char *names[5] = {"Memory packets", "Reply", "WriteBack",

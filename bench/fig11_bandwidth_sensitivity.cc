@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig11");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.2);
     bench::banner("Figure 11", "performance vs relative bandwidth");
 
@@ -31,26 +32,40 @@ main(int argc, char **argv)
                             "em3d", "mp3d"};
     const double levels[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
 
-    TextTable table({"bandwidth", "FSOI", "mesh"});
-    double fsoi_full = 0, mesh_full = 0;
+    struct LevelRuns
+    {
+        double bw;
+        std::vector<std::future<sim::RunResult>> fsoi, mesh;
+    };
+    std::vector<LevelRuns> queued;
     for (double bw : levels) {
-        double fsoi_cycles = 0, mesh_cycles = 0;
+        LevelRuns runs;
+        runs.bw = bw;
         for (const char *name : subset) {
             const auto app = workload::appByName(name);
             auto fcfg = bench::paperConfig(16, sim::NetKind::Fsoi);
             fcfg.fsoi.bandwidth_scale = bw;
             auto mcfg = bench::paperConfig(16, sim::NetKind::Mesh);
             mcfg.mesh.bandwidth_scale = bw;
-            fsoi_cycles += static_cast<double>(
-                bench::runConfig(fcfg, app, scale).cycles);
-            mesh_cycles += static_cast<double>(
-                bench::runConfig(mcfg, app, scale).cycles);
+            runs.fsoi.push_back(sweep.run(fcfg, app, scale));
+            runs.mesh.push_back(sweep.run(mcfg, app, scale));
         }
-        if (bw == 1.0) {
+        queued.push_back(std::move(runs));
+    }
+
+    TextTable table({"bandwidth", "FSOI", "mesh"});
+    double fsoi_full = 0, mesh_full = 0;
+    for (auto &runs : queued) {
+        double fsoi_cycles = 0, mesh_cycles = 0;
+        for (std::size_t i = 0; i < runs.fsoi.size(); ++i) {
+            fsoi_cycles += static_cast<double>(runs.fsoi[i].get().cycles);
+            mesh_cycles += static_cast<double>(runs.mesh[i].get().cycles);
+        }
+        if (runs.bw == 1.0) {
             fsoi_full = fsoi_cycles;
             mesh_full = mesh_cycles;
         }
-        table.addRow({TextTable::pct(bw, 0),
+        table.addRow({TextTable::pct(runs.bw, 0),
                       TextTable::pct(fsoi_full / fsoi_cycles, 1),
                       TextTable::pct(mesh_full / mesh_cycles, 1)});
     }

@@ -20,6 +20,7 @@
 
 #include "bench_util.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "fsoi/fsoi_network.hh"
 
 using namespace fsoi;
@@ -80,8 +81,29 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig3");
+    bench::Sweep sweep(argc, argv);
     bench::banner("Figure 3",
                   "collision probability vs transmission probability");
+
+    // The experimental points drive standalone FsoiNetwork instances,
+    // not whole Systems, so they fan out over a plain thread pool.
+    // Each measurement owns its network and RNG; results are collected
+    // in submission order, keeping output identical at any --jobs.
+    common::ThreadPool pool(sweep.jobs());
+    struct LanePair
+    {
+        std::future<double> meta, data;
+    };
+    std::vector<LanePair> measured;
+    const double exp_ps[] = {0.02, 0.05, 0.10, 0.15};
+    for (double p : exp_ps)
+        measured.push_back(LanePair{
+            pool.submit([p] {
+                return measuredCollisionRate(p, noc::PacketClass::Meta, 7);
+            }),
+            pool.submit([p] {
+                return measuredCollisionRate(p, noc::PacketClass::Data, 9);
+            })});
 
     std::printf("Normalized node collision probability Pc/p (theory, "
                 "N=16):\n\n");
@@ -102,12 +124,11 @@ main(int argc, char **argv)
     std::printf("\nExperimental points on the full FSOI network "
                 "(per-packet collision rate vs first-order theory):\n\n");
     TextTable exp({"p", "meta lane", "data lane", "theory(R=2)"});
-    for (double p : {0.02, 0.05, 0.10, 0.15}) {
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        const double p = exp_ps[i];
         exp.addRow({TextTable::pct(p, 0),
-                    TextTable::pct(measuredCollisionRate(
-                        p, noc::PacketClass::Meta, 7), 2),
-                    TextTable::pct(measuredCollisionRate(
-                        p, noc::PacketClass::Data, 9), 2),
+                    TextTable::pct(measured[i].meta.get(), 2),
+                    TextTable::pct(measured[i].data.get(), 2),
                     TextTable::pct(packetTheory(p, 2), 2)});
     }
     exp.print(std::cout);

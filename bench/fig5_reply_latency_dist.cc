@@ -20,14 +20,19 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig5");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.1);
     bench::banner("Figure 5", "read-miss reply latency distribution");
 
+    std::vector<std::future<sim::SweepOutcome>> queued;
+    for (const auto &app : bench::apps())
+        queued.push_back(sweep.runKeep(
+            bench::paperConfig(16, sim::NetKind::Fsoi), app, scale));
+
     Histogram hist(5.0, 60);
-    for (const auto &app : bench::apps()) {
-        sim::System *sys = nullptr;
-        bench::runConfig(bench::paperConfig(16, sim::NetKind::Fsoi), app,
-                         scale, &sys);
+    for (auto &run : queued) {
+        const auto outcome = run.get();
+        sim::System *sys = outcome.system.get();
         for (int n = 0; n < 16; ++n) {
             const auto &ml = sys->l1(n).stats().miss_latency;
             for (std::size_t b = 0; b <= ml.numBins(); ++b) {

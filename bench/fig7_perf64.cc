@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig7");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.08);
     const int cores = 64;
     bench::banner("Figure 7",
@@ -28,17 +29,33 @@ main(int argc, char **argv)
     TextTable spd({"app", "FSOI", "L0", "Lr1", "Lr2"});
     std::vector<double> s_fsoi, s_l0, s_lr1, s_lr2;
 
-    for (const auto &app : bench::apps()) {
-        const auto mesh = bench::runConfig(
-            bench::paperConfig(cores, sim::NetKind::Mesh), app, scale);
-        const auto fso = bench::runConfig(
-            bench::paperConfig(cores, sim::NetKind::Fsoi), app, scale);
-        const auto l0 = bench::runConfig(
-            bench::paperConfig(cores, sim::NetKind::L0), app, scale);
-        const auto lr1 = bench::runConfig(
-            bench::paperConfig(cores, sim::NetKind::Lr1), app, scale);
-        const auto lr2 = bench::runConfig(
-            bench::paperConfig(cores, sim::NetKind::Lr2), app, scale);
+    const auto apps = bench::apps();
+    struct AppRuns
+    {
+        std::future<sim::RunResult> mesh, fso, l0, lr1, lr2;
+    };
+    std::vector<AppRuns> queued;
+    for (const auto &app : apps) {
+        queued.push_back(AppRuns{
+            sweep.run(bench::paperConfig(cores, sim::NetKind::Mesh),
+                      app, scale),
+            sweep.run(bench::paperConfig(cores, sim::NetKind::Fsoi),
+                      app, scale),
+            sweep.run(bench::paperConfig(cores, sim::NetKind::L0),
+                      app, scale),
+            sweep.run(bench::paperConfig(cores, sim::NetKind::Lr1),
+                      app, scale),
+            sweep.run(bench::paperConfig(cores, sim::NetKind::Lr2),
+                      app, scale)});
+    }
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &app = apps[i];
+        const auto mesh = queued[i].mesh.get();
+        const auto fso = queued[i].fso.get();
+        const auto l0 = queued[i].l0.get();
+        const auto lr1 = queued[i].lr1.get();
+        const auto lr2 = queued[i].lr2.get();
 
         lat.addRow({app.name, TextTable::num(fso.queuing, 1),
                     TextTable::num(fso.scheduling, 1),

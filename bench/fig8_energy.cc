@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig8");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 8", "energy relative to the mesh baseline");
 
@@ -28,11 +29,19 @@ main(int argc, char **argv)
     double p_mesh = 0.0, p_fsoi = 0.0;
     int n = 0;
 
-    for (const auto &app : bench::apps()) {
-        const auto mesh = bench::runConfig(
-            bench::paperConfig(16, sim::NetKind::Mesh), app, scale);
-        const auto fso = bench::runConfig(
-            bench::paperConfig(16, sim::NetKind::Fsoi), app, scale);
+    const auto apps = bench::apps();
+    std::vector<std::future<sim::RunResult>> mesh_runs, fsoi_runs;
+    for (const auto &app : apps) {
+        mesh_runs.push_back(sweep.run(
+            bench::paperConfig(16, sim::NetKind::Mesh), app, scale));
+        fsoi_runs.push_back(sweep.run(
+            bench::paperConfig(16, sim::NetKind::Fsoi), app, scale));
+    }
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &app = apps[i];
+        const auto mesh = mesh_runs[i].get();
+        const auto fso = fsoi_runs[i].get();
 
         const double base = mesh.energy.total();
         const double net = fso.energy.network_j / base;

@@ -39,6 +39,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "fig9");
+    bench::Sweep sweep(argc, argv);
     const double scale = bench::scaleArg(argc, argv, 0.25);
     bench::banner("Figure 9",
                   "meta collisions with/without confirmation-as-ack");
@@ -49,16 +50,24 @@ main(int argc, char **argv)
     double pkts_base = 0, pkts_opt = 0;
     int n = 0;
 
-    for (const auto &app : bench::apps()) {
-        auto base_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
-        base_cfg.opt_confirmation_ack = false;
-        base_cfg.opt_sync_subscription = false;
-        base_cfg.opt_data_collision = false;
-        auto opt_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
-        opt_cfg.opt_data_collision = false; // isolate Section 5.1
+    auto base_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
+    base_cfg.opt_confirmation_ack = false;
+    base_cfg.opt_sync_subscription = false;
+    base_cfg.opt_data_collision = false;
+    auto opt_cfg = bench::paperConfig(16, sim::NetKind::Fsoi, 5);
+    opt_cfg.opt_data_collision = false; // isolate Section 5.1
 
-        const auto base = bench::runConfig(base_cfg, app, scale);
-        const auto opt = bench::runConfig(opt_cfg, app, scale);
+    const auto apps = bench::apps();
+    std::vector<std::future<sim::RunResult>> base_runs, opt_runs;
+    for (const auto &app : apps) {
+        base_runs.push_back(sweep.run(base_cfg, app, scale));
+        opt_runs.push_back(sweep.run(opt_cfg, app, scale));
+    }
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &app = apps[i];
+        const auto base = base_runs[i].get();
+        const auto opt = opt_runs[i].get();
 
         table.addRow({app.name,
                       TextTable::pct(base.meta_tx_probability, 2),

@@ -61,6 +61,22 @@ BM_FsoiTick(benchmark::State &state)
 }
 BENCHMARK(BM_FsoiTick);
 
+/**
+ * Saturated mesh: every node injects whenever its lane can accept, so
+ * routers stay full and credits stream back every cycle. This is the
+ * regression guard for Router::applyCredits -- with the old mid-vector
+ * erase the credit pass was quadratic in queued credits and dominated
+ * exactly this workload.
+ */
+void
+BM_MeshTickSaturated(benchmark::State &state)
+{
+    noc::MeshLayout layout(16, 4);
+    noc::MeshNetwork net(layout, noc::MeshConfig{});
+    driveNetwork(state, net, 1.0);
+}
+BENCHMARK(BM_MeshTickSaturated);
+
 void
 BM_CollisionClosedForm(benchmark::State &state)
 {

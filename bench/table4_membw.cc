@@ -16,32 +16,39 @@ using namespace fsoi;
 
 namespace {
 
+using Runs = std::vector<std::future<sim::RunResult>>;
+
+/** Enqueue one run per app at (cores, kind, off-chip bandwidth). */
+Runs
+enqueueApps(bench::Sweep &sweep, int cores, sim::NetKind kind,
+            double gbps, double scale)
+{
+    Runs runs;
+    for (const auto &app : bench::apps()) {
+        auto cfg = bench::paperConfig(cores, kind);
+        cfg.mem_gbytes_per_sec = gbps;
+        runs.push_back(sweep.run(cfg, app, scale));
+    }
+    return runs;
+}
+
 /** Mesh-baseline cycle counts per app, computed once per (cores, bw). */
 std::vector<double>
-meshBaseline(int cores, double gbps, double scale)
+collectCycles(Runs &runs)
 {
     std::vector<double> cycles;
-    for (const auto &app : bench::apps()) {
-        auto base = bench::paperConfig(cores, sim::NetKind::Mesh);
-        base.mem_gbytes_per_sec = gbps;
-        cycles.push_back(static_cast<double>(
-            bench::runConfig(base, app, scale).cycles));
-    }
+    for (auto &run : runs)
+        cycles.push_back(static_cast<double>(run.get().cycles));
     return cycles;
 }
 
 double
-gmeanSpeedup(int cores, sim::NetKind kind, double gbps, double scale,
-             const std::vector<double> &mesh_cycles)
+gmeanSpeedup(Runs &runs, const std::vector<double> &mesh_cycles)
 {
     std::vector<double> speedups;
     std::size_t i = 0;
-    for (const auto &app : bench::apps()) {
-        auto cfg = bench::paperConfig(cores, kind);
-        cfg.mem_gbytes_per_sec = gbps;
-        const auto res = bench::runConfig(cfg, app, scale);
-        speedups.push_back(mesh_cycles[i++] / res.cycles);
-    }
+    for (auto &run : runs)
+        speedups.push_back(mesh_cycles[i++] / run.get().cycles);
     return geometricMean(speedups);
 }
 
@@ -51,6 +58,7 @@ int
 main(int argc, char **argv)
 {
     bench::FigureJson json(argc, argv, "table4");
+    bench::Sweep sweep(argc, argv);
     const double scale16 = bench::scaleArg(argc, argv, 0.15);
     const double scale64 = scale16 / 3.0;
     bench::banner("Table 4", "speedups vs off-chip memory bandwidth");
@@ -64,32 +72,52 @@ main(int argc, char **argv)
                         {"L0", sim::NetKind::L0},
                         {"Lr1", sim::NetKind::Lr1},
                         {"Lr2", sim::NetKind::Lr2}};
+    constexpr int kRows = 4;
+
+    // Enqueue the whole table before collecting anything so every
+    // configuration is in flight at once.
+    auto q16_base_slow = enqueueApps(sweep, 16, sim::NetKind::Mesh, 8.8,
+                                     scale16);
+    auto q16_base_fast = enqueueApps(sweep, 16, sim::NetKind::Mesh, 52.8,
+                                     scale16);
+    Runs q16_slow[kRows], q16_fast[kRows];
+    for (int r = 0; r < kRows; ++r) {
+        q16_slow[r] = enqueueApps(sweep, 16, rows[r].kind, 8.8, scale16);
+        q16_fast[r] = enqueueApps(sweep, 16, rows[r].kind, 52.8, scale16);
+    }
+    auto q64_base_slow = enqueueApps(sweep, 64, sim::NetKind::Mesh, 8.8,
+                                     scale64);
+    auto q64_base_fast = enqueueApps(sweep, 64, sim::NetKind::Mesh, 52.8,
+                                     scale64);
+    Runs q64_slow[kRows], q64_fast[kRows];
+    for (int r = 0; r < kRows; ++r) {
+        q64_slow[r] = enqueueApps(sweep, 64, rows[r].kind, 8.8, scale64);
+        q64_fast[r] = enqueueApps(sweep, 64, rows[r].kind, 52.8, scale64);
+    }
 
     std::printf("16-core system (geometric-mean speedup over mesh):\n\n");
-    const auto base16_slow = meshBaseline(16, 8.8, scale16);
-    const auto base16_fast = meshBaseline(16, 52.8, scale16);
+    const auto base16_slow = collectCycles(q16_base_slow);
+    const auto base16_fast = collectCycles(q16_base_fast);
     TextTable t16({"config", "8.8 GB/s", "52.8 GB/s"});
-    for (const auto &row : rows)
-        t16.addRow({row.name,
-                    TextTable::num(gmeanSpeedup(16, row.kind, 8.8,
-                                                scale16, base16_slow), 2),
-                    TextTable::num(gmeanSpeedup(16, row.kind, 52.8,
-                                                scale16, base16_fast),
+    for (int r = 0; r < kRows; ++r)
+        t16.addRow({rows[r].name,
+                    TextTable::num(gmeanSpeedup(q16_slow[r], base16_slow),
+                                   2),
+                    TextTable::num(gmeanSpeedup(q16_fast[r], base16_fast),
                                    2)});
     t16.print(std::cout);
     std::printf("(paper: FSOI 1.32 / 1.36, L0 1.37 / 1.43, Lr1 1.27 / "
                 "1.32, Lr2 1.18 / 1.22)\n\n");
 
     std::printf("64-core system:\n\n");
-    const auto base64_slow = meshBaseline(64, 8.8, scale64);
-    const auto base64_fast = meshBaseline(64, 52.8, scale64);
+    const auto base64_slow = collectCycles(q64_base_slow);
+    const auto base64_fast = collectCycles(q64_base_fast);
     TextTable t64({"config", "8.8 GB/s", "52.8 GB/s"});
-    for (const auto &row : rows)
-        t64.addRow({row.name,
-                    TextTable::num(gmeanSpeedup(64, row.kind, 8.8,
-                                                scale64, base64_slow), 2),
-                    TextTable::num(gmeanSpeedup(64, row.kind, 52.8,
-                                                scale64, base64_fast),
+    for (int r = 0; r < kRows; ++r)
+        t64.addRow({rows[r].name,
+                    TextTable::num(gmeanSpeedup(q64_slow[r], base64_slow),
+                                   2),
+                    TextTable::num(gmeanSpeedup(q64_fast[r], base64_fast),
                                    2)});
     t64.print(std::cout);
     std::printf("(paper: FSOI 1.61 / 1.75, L0 1.75 / 1.91, Lr1 1.41 / "

@@ -112,6 +112,23 @@ class Directory
 
     bool quiescent() const;
 
+    /**
+     * Active-set scheduling protocol (see L1Cache::active): tick()
+     * only drains the outbox, deferred fills and the input queue, so
+     * the slice is skippable whenever those are empty — outstanding
+     * txns_ advance purely through handleMessage() and don't require
+     * ticking. Skipped slices get syncClock() to keep now_ fresh.
+     */
+    bool
+    active() const
+    {
+        return !inQueue_.empty() || !outbox_.empty()
+            || !deferredFills_.empty();
+    }
+
+    /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
+    void syncClock(Cycle now) { now_ = now; }
+
     /** Print outstanding state to stderr (watchdog diagnostics). */
     void debugDump() const;
 

@@ -126,6 +126,25 @@ class L1Cache
     /** True when no miss, store or outgoing message is outstanding. */
     bool quiescent() const;
 
+    /**
+     * Active-set scheduling protocol: tick() is a no-op beyond the
+     * clock refresh whenever every work list below is empty, so the
+     * System skips the call and keeps the clock fresh via syncClock()
+     * instead. The controller re-enters the active set through
+     * handleMessage() / the core-facing entry points, which all refill
+     * one of these lists before the next cycle's check.
+     */
+    bool
+    active() const
+    {
+        return !pendingDone_.empty() || !deferredData_.empty()
+            || !outbox_.empty() || !mshrs_.empty()
+            || !storeBuffer_.empty();
+    }
+
+    /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
+    void syncClock(Cycle now) { now_ = now; }
+
     /** Current stable state of a line (tests / invariant checks). */
     L1State lineState(Addr addr) const;
 

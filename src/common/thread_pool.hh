@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with future-returning task submission.
+ *
+ * The pool exists for *inter-run* parallelism: independent simulations
+ * (one System per sweep point) are submitted as tasks and each runs
+ * entirely on one worker thread. Nothing inside the simulator is
+ * thread-aware; determinism is preserved because tasks never share
+ * mutable state and callers collect futures in submission order.
+ */
+
+#ifndef FSOI_COMMON_THREAD_POOL_HH
+#define FSOI_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fsoi::common {
+
+/** Threads to use for @p requested jobs (0 = hardware concurrency). */
+inline int
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(int threads)
+    {
+        const int n = threads > 0 ? threads : 1;
+        workers_.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn and return the future of its result. Tasks start
+     * in FIFO order; results are consumed in whatever order the caller
+     * waits on the futures.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !tasks_.empty(); });
+                if (tasks_.empty())
+                    return; // stop_ set and queue drained
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace fsoi::common
+
+#endif // FSOI_COMMON_THREAD_POOL_HH

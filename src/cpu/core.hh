@@ -81,6 +81,12 @@ class Core
 
     bool done() const { return mode_ == Mode::Done; }
 
+    /**
+     * Keep now_ fresh on skipped cycles: a Done core's tick() is
+     * exactly this store, so the System calls syncClock() instead.
+     */
+    void syncClock(Cycle now) { now_ = now; }
+
     /** Subscription side-channel delivery (wired up by the System). */
     void onControlBit(std::uint64_t tag);
 

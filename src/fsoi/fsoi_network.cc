@@ -56,10 +56,13 @@ FsoiNetwork::FsoiNetwork(const noc::MeshLayout &layout,
     FSOI_ASSERT(config_.bandwidth_scale > 0.0
                 && config_.bandwidth_scale <= 1.0);
     FSOI_ASSERT(config_.confirmation_delay >= 1);
+
+    slotCyclesCached_[0] = computeSlotCycles(PacketClass::Meta);
+    slotCyclesCached_[1] = computeSlotCycles(PacketClass::Data);
 }
 
 int
-FsoiNetwork::slotCycles(PacketClass cls) const
+FsoiNetwork::computeSlotCycles(PacketClass cls) const
 {
     const int vcsels = cls == PacketClass::Meta ? config_.meta_vcsels
                                                 : config_.data_vcsels;
@@ -483,6 +486,21 @@ FsoiNetwork::tick(Cycle now)
 {
     setNow(now);
 
+    // Idle early-out: every queued, retrying or in-flight packet is
+    // counted in packetsInFlight_ until delivery, so with the event
+    // lists also empty the slot machinery below cannot move anything.
+    // The per-slot counters still advance (transmissionProbability
+    // normalizes attempts by *elapsed* slots, Figure 9) and stale
+    // reservations still expire, exactly as in a fully simulated tick.
+    if (packetsInFlight_ == 0 && confirmations_.empty()
+        && controlBits_.empty()) {
+        for (PacketClass cls : {PacketClass::Meta, PacketClass::Data})
+            if (now % slotCycles(cls) == 0)
+                slotsElapsed_[static_cast<int>(cls)]++;
+        expireReservations(now);
+        return;
+    }
+
     processControlBits(now);
     processConfirmations(now);
 
@@ -520,15 +538,21 @@ FsoiNetwork::tick(Cycle now)
         }
     }
 
-    // Drop stale request-spacing reservations.
-    if (config_.request_spacing) {
-        const int data_slot = slotCycles(PacketClass::Data);
-        const std::uint64_t current = now / data_slot;
-        while (!reservationLog_.empty()
-               && reservationLog_.front().slot < current) {
-            reservations_.erase(reservationLog_.front().key);
-            reservationLog_.pop_front();
-        }
+    expireReservations(now);
+}
+
+/** Drop stale request-spacing reservations. */
+void
+FsoiNetwork::expireReservations(Cycle now)
+{
+    if (!config_.request_spacing || reservationLog_.empty())
+        return;
+    const int data_slot = slotCycles(PacketClass::Data);
+    const std::uint64_t current = now / data_slot;
+    while (!reservationLog_.empty()
+           && reservationLog_.front().slot < current) {
+        reservations_.erase(reservationLog_.front().key);
+        reservationLog_.pop_front();
     }
 }
 

@@ -136,7 +136,11 @@ class FsoiNetwork : public noc::Network
     const FsoiActivity &activity() const { return activity_; }
 
     /** Slot length in cycles for a packet class (after bw scaling). */
-    int slotCycles(PacketClass cls) const;
+    int
+    slotCycles(PacketClass cls) const
+    {
+        return slotCyclesCached_[cls == PacketClass::Meta ? 0 : 1];
+    }
 
     /** Per-node per-slot transmission probability observed so far. */
     double transmissionProbability(PacketClass cls) const;
@@ -217,6 +221,8 @@ class FsoiNetwork : public noc::Network
                           Cycle &release_at);
 
     int windowSlots(int retry) const;
+    int computeSlotCycles(PacketClass cls) const;
+    void expireReservations(Cycle now);
 
     noc::MeshLayout layout_;
     FsoiConfig config_;
@@ -246,6 +252,7 @@ class FsoiNetwork : public noc::Network
         static_cast<int>(CollisionCategory::kCount)];
     Accumulator dataResolution_;
     std::uint64_t packetsInFlight_ = 0;
+    int slotCyclesCached_[2] = {1, 1}; //!< per class, fixed at build
 };
 
 } // namespace fsoi::fsoi

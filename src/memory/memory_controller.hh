@@ -62,6 +62,17 @@ class MemoryController
 
     bool quiescent() const;
 
+    /**
+     * Active-set scheduling protocol (see L1Cache::active): tick()
+     * only drains replies_, so an empty reply list means the tick is
+     * skippable; handleMessage() refills it. busyUntil_ needs no
+     * ticking — it is only compared against now_ on arrival.
+     */
+    bool active() const { return !replies_.empty(); }
+
+    /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
+    void syncClock(Cycle now) { now_ = now; }
+
   private:
     struct Reply
     {

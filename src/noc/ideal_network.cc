@@ -66,6 +66,7 @@ IdealNetwork::send(Packet &&pkt)
         return false;
     stampOnSend(pkt);
     lane(pkt.src, pkt.cls).queue.push_back(std::move(pkt));
+    ++queuedPackets_;
     return true;
 }
 
@@ -73,6 +74,11 @@ void
 IdealNetwork::tick(Cycle now)
 {
     setNow(now);
+
+    // Nothing queued and nothing flying: the lane scan cannot start or
+    // deliver anything, so skip it.
+    if (queuedPackets_ == 0 && inflight_.empty())
+        return;
 
     // Deliver what is due.
     while (!inflight_.empty() && inflight_.top().due <= now) {
@@ -90,6 +96,7 @@ IdealNetwork::tick(Cycle now)
                 continue;
             Packet pkt = std::move(ln.queue.front());
             ln.queue.pop_front();
+            --queuedPackets_;
             const int ser = cls == PacketClass::Meta
                 ? config_.meta_serialization
                 : config_.data_serialization;

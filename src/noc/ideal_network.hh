@@ -76,6 +76,7 @@ class IdealNetwork : public Network
     std::priority_queue<InFlight, std::vector<InFlight>,
                         std::greater<InFlight>> inflight_;
     std::uint64_t seq_ = 0;
+    std::uint64_t queuedPackets_ = 0; //!< packets waiting in lane queues
 };
 
 } // namespace fsoi::noc

@@ -67,24 +67,35 @@ struct MeshNetwork::Router
     int x = 0;
     int y = 0;
     int scan_phase = 0; //!< rotating input-port priority (fairness)
+    int buffered_flits = 0; //!< flits across all input VC buffers
     std::vector<InPort> in;
     std::vector<OutPort> out;
     std::vector<CreditEvent> credit_queue;
     // Per-tick scratch: candidate VC per input port (-1 = none).
     std::vector<int> candidate;
 
-    void
+    /**
+     * Credit application is commutative (each event is one counter
+     * increment), so matured events are removed by swap-with-back
+     * instead of the old erase-from-middle, which was quadratic once
+     * the queue grew under load. Returns the number applied.
+     */
+    std::size_t
     applyCredits(Cycle now)
     {
-        auto it = credit_queue.begin();
-        while (it != credit_queue.end()) {
-            if (it->due <= now) {
-                ++out[it->port].credits[it->vc];
-                it = credit_queue.erase(it);
+        std::size_t applied = 0;
+        std::size_t i = 0;
+        while (i < credit_queue.size()) {
+            if (credit_queue[i].due <= now) {
+                ++out[credit_queue[i].port].credits[credit_queue[i].vc];
+                credit_queue[i] = credit_queue.back();
+                credit_queue.pop_back();
+                ++applied;
             } else {
-                ++it;
+                ++i;
             }
         }
+        return applied;
     }
 
     bool
@@ -183,12 +194,15 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config)
         for (std::size_t p = kFirstLocal; p < router->out.size(); ++p)
             router->out[p].local = true;
     }
+
+    flits_[0] = computeFlitsPerPacket(PacketClass::Meta);
+    flits_[1] = computeFlitsPerPacket(PacketClass::Data);
 }
 
 MeshNetwork::~MeshNetwork() = default;
 
 int
-MeshNetwork::flitsPerPacket(PacketClass cls) const
+MeshNetwork::computeFlitsPerPacket(PacketClass cls) const
 {
     const int base = cls == PacketClass::Meta ? config_.meta_flits
                                               : config_.data_flits;
@@ -267,7 +281,8 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
             continue;
         if (inj.active[1] && inj.vc[1] == vc)
             continue;
-        auto pkt = std::make_shared<Packet>(std::move(lane.queue.front()));
+        auto pkt = common::makePooled<Packet>(pktPool_,
+                                              std::move(lane.queue.front()));
         lane.queue.pop_front();
         FSOI_TRACE_POINT(TraceCat::Noc, 3, "inject", now(), pkt->src,
                          {"id", pkt->id}, {"dst", pkt->dst},
@@ -312,6 +327,7 @@ MeshNetwork::tickInjection(Cycle now)
             flit.tail = inj.remaining[c] == 1;
             flit.ready_at = now + config_.router_cycles;
             buf.push_back(std::move(flit));
+            ++router.buffered_flits;
             activity_.buffer_writes++;
             if (--inj.remaining[c] == 0) {
                 inj.active[c] = nullptr;
@@ -327,6 +343,25 @@ void
 MeshNetwork::tick(Cycle now)
 {
     setNow(now);
+
+    // Idle early-out: with no packet anywhere (injector queues, VC
+    // buffers and pending ejections all hold in-flight packets) and no
+    // credit event waiting to mature, the full tick body is a no-op
+    // except for the scan_phase rotation, which is replayed lazily
+    // below so arbitration fairness evolves exactly as if every idle
+    // cycle had been simulated.
+    if (packetsInFlight_ == 0 && pendingCredits_ == 0) {
+        ++idleTicks_;
+        return;
+    }
+    if (idleTicks_ != 0) {
+        for (auto &rptr : routers_) {
+            Router &router = *rptr;
+            router.scan_phase = static_cast<int>(
+                (router.scan_phase + idleTicks_) % router.in.size());
+        }
+        idleTicks_ = 0;
+    }
 
     // Deliver packets whose tail ejected.
     {
@@ -346,7 +381,14 @@ MeshNetwork::tick(Cycle now)
 
     for (auto &rptr : routers_) {
         Router &router = *rptr;
-        router.applyCredits(now);
+        // A router with no buffered flit and no credit event has
+        // nothing to arbitrate; only its priority rotation advances.
+        if (router.buffered_flits == 0 && router.credit_queue.empty()) {
+            router.scan_phase = (router.scan_phase + 1)
+                % static_cast<int>(router.in.size());
+            continue;
+        }
+        pendingCredits_ -= router.applyCredits(now);
 
         // --- Switch allocation: input-first candidate selection ---
         // The scan start rotates every cycle; a fixed start would give
@@ -436,6 +478,7 @@ MeshNetwork::tick(Cycle now)
             auto &vc = iport.vcs[v];
             Flit flit = std::move(vc.buf.front());
             vc.buf.pop_front();
+            --router.buffered_flits;
             iport.rr = (v + 1) % config_.num_vcs;
             activity_.buffer_reads++;
             activity_.crossbar_traversals++;
@@ -450,6 +493,7 @@ MeshNetwork::tick(Cycle now)
             if (iport.up) {
                 iport.up->credit_queue.push_back(
                     {now + 1, iport.up_port, v});
+                ++pendingCredits_;
             }
             if (oport.local) {
                 if (flit.tail) {
@@ -473,6 +517,7 @@ MeshNetwork::tick(Cycle now)
                     + config_.router_cycles;
                 auto &dbuf = oport.peer->in[oport.peer_port].vcs[out_vc].buf;
                 dbuf.push_back(std::move(flit));
+                ++oport.peer->buffered_flits;
                 FSOI_ASSERT(static_cast<int>(dbuf.size())
                             <= config_.buffer_depth,
                             "credit protocol violated at router %d",

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/pool.hh"
 #include "noc/network.hh"
 #include "noc/topology.hh"
 
@@ -76,7 +77,11 @@ class MeshNetwork : public Network
     const MeshLayout &layout() const { return layout_; }
 
     /** Flits per packet of @p cls after bandwidth scaling. */
-    int flitsPerPacket(PacketClass cls) const;
+    int
+    flitsPerPacket(PacketClass cls) const
+    {
+        return flits_[cls == PacketClass::Meta ? 0 : 1];
+    }
 
     /** Print buffered-flit state to stderr (watchdog diagnostics). */
     void debugDump() const;
@@ -110,14 +115,21 @@ class MeshNetwork : public Network
     void tickInjection(Cycle now);
     void startPacket(Injector &inj, int cls_idx, NodeId endpoint);
     int localPortOf(NodeId endpoint) const;
+    int computeFlitsPerPacket(PacketClass cls) const;
 
     MeshLayout layout_;
     MeshConfig config_;
     MeshActivity activity_;
+    // The packet pool must outlive the flit buffers / pending list that
+    // hold shared_ptrs allocated from it, hence declared first.
+    common::BlockPool pktPool_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<Injector> injectors_;       // per endpoint
     std::vector<PendingDelivery> pending_;  // tail-ejected packets
     std::uint64_t packetsInFlight_ = 0;
+    std::uint64_t pendingCredits_ = 0; //!< unmatured credit events
+    std::uint64_t idleTicks_ = 0;      //!< skipped ticks to replay
+    int flits_[2] = {1, 5};            //!< cached flits per class
 };
 
 } // namespace fsoi::noc

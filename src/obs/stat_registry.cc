@@ -12,6 +12,7 @@ namespace fsoi::obs {
 void
 StatRegistry::add(Entry entry)
 {
+    assertSingleThread();
     FSOI_ASSERT(!entry.name.empty(), "stat registered without a name");
     FSOI_ASSERT(find(entry.name) == nullptr, "duplicate stat name '%s'",
                 entry.name.c_str());
@@ -81,6 +82,7 @@ StatRegistry::names() const
 void
 StatRegistry::visit(StatVisitor &v) const
 {
+    assertSingleThread();
     for (const auto &e : entries_) {
         switch (e.kind) {
           case StatKind::Counter:
@@ -127,6 +129,7 @@ StatRegistry::scalarNames() const
 void
 StatRegistry::scalarValues(std::vector<double> &out) const
 {
+    assertSingleThread();
     out.clear();
     for (const auto &e : entries_) {
         switch (e.kind) {

@@ -10,11 +10,21 @@
  * Consumers walk the registry through a Visitor or one of the writers
  * (text / JSON / CSV); the interval sampler flattens every entry to
  * scalars and emits a time series (see obs/sampler.hh).
+ *
+ * Thread-safety: a registry is deliberately NOT synchronized. Each
+ * System owns its own StatRegistry, and the sweep runner executes a
+ * whole System -- construction, run, stat readout -- on one worker
+ * thread, so a registry is thread-confined by design and the hot
+ * counter increments stay free of atomics. Debug builds enforce the
+ * confinement: the first thread to touch a registry becomes its owner
+ * and any access from another thread asserts. Do not share one
+ * registry (or one Scope) across concurrently running Systems.
  */
 
 #ifndef FSOI_OBS_STAT_REGISTRY_HH
 #define FSOI_OBS_STAT_REGISTRY_HH
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -22,6 +32,10 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#ifndef NDEBUG
+#include <thread>
+#endif
 
 #include "common/stats.hh"
 
@@ -88,7 +102,28 @@ class StatRegistry
   private:
     void add(Entry entry);
 
+    /**
+     * Debug-only confinement check (see the file comment): the first
+     * accessing thread claims the registry; any later access from a
+     * different thread is a bug in sweep/System ownership.
+     */
+    void
+    assertSingleThread() const
+    {
+#ifndef NDEBUG
+        const auto self = std::this_thread::get_id();
+        if (owner_ == std::thread::id())
+            owner_ = self;
+        assert(owner_ == self &&
+               "StatRegistry accessed from a second thread; registries "
+               "are confined to the worker running their System");
+#endif
+    }
+
     std::vector<Entry> entries_;
+#ifndef NDEBUG
+    mutable std::thread::id owner_;
+#endif
 };
 
 /**

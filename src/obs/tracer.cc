@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "obs/stat_registry.hh"
@@ -65,6 +66,7 @@ Tracer::instance()
 void
 Tracer::configure(const std::string &spec)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t start = 0;
     while (start <= spec.size()) {
         std::size_t end = spec.find(',', start);
@@ -109,6 +111,7 @@ void
 Tracer::setCapacity(std::size_t events)
 {
     FSOI_ASSERT(events > 0);
+    std::lock_guard<std::mutex> lock(mu_);
     ring_.assign(events, TraceEvent{});
     recorded_ = 0;
 }
@@ -122,6 +125,7 @@ Tracer::record(TraceCat cat, const char *name, char phase, Cycle ts,
     // instant()/complete() calls on a disabled category.
     if (levels_[static_cast<int>(cat)] <= 0)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     if (ring_.empty())
         ring_.resize(kDefaultCapacity);
     TraceEvent &slot = ring_[recorded_ % ring_.size()];
@@ -159,6 +163,7 @@ Tracer::complete(TraceCat cat, const char *name, Cycle ts, Cycle dur,
 std::vector<TraceEvent>
 Tracer::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<TraceEvent> out;
     if (ring_.empty() || recorded_ == 0)
         return out;
@@ -173,6 +178,13 @@ Tracer::snapshot() const
 
 void
 Tracer::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    writeChromeTraceLocked(os);
+}
+
+void
+Tracer::writeChromeTraceLocked(std::ostream &os) const
 {
     os << "{\"displayTimeUnit\":\"ms\","
        << "\"otherData\":{\"clock\":\"1 cycle = 1 us\","
@@ -212,6 +224,7 @@ Tracer::writeChromeTrace(std::ostream &os) const
 void
 Tracer::flush() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!any_ || path_.empty())
         return;
     std::ofstream os(path_);
@@ -219,7 +232,7 @@ Tracer::flush() const
         warn("FSOI_TRACE: cannot write trace file '%s'", path_.c_str());
         return;
     }
-    writeChromeTrace(os);
+    writeChromeTraceLocked(os);
     inform("trace: wrote %llu events to %s (%llu dropped)",
            static_cast<unsigned long long>(
                std::min<std::uint64_t>(recorded_, ring_.size())),
@@ -230,6 +243,7 @@ Tracer::flush() const
 void
 Tracer::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto &l : levels_)
         l = 0;
     any_ = false;

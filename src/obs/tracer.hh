@@ -19,6 +19,19 @@
  *
  * Cost when disabled: one level-table load and compare per call site,
  * the same single branch the old traceEnabled() bool was.
+ *
+ * Thread-safety: the tracer is process-global while Systems may now
+ * run on sweep worker threads. Construction (and the one-time
+ * environment parse it performs) is race-free via the C++11
+ * magic-static in instance(). All mutating entry points -- record()
+ * via instant()/complete(), configure(), setCapacity(),
+ * setOutputPath(), reset() -- and the buffer readers (snapshot(),
+ * writeChromeTrace(), flush()) serialize on an internal mutex. The
+ * hot-path gate enabled() stays lock-free: it only loads levels_,
+ * which is written before worker threads exist (environment parse) or
+ * under the mutex (tests reconfiguring a quiesced tracer). The inline
+ * counters recorded()/dropped()/capacity() are unlocked convenience
+ * reads; treat them as approximate while worker threads are tracing.
  */
 
 #ifndef FSOI_OBS_TRACER_HH
@@ -26,6 +39,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -99,7 +113,12 @@ class Tracer
     std::size_t capacity() const { return ring_.size(); }
 
     /** Output path for flush(); empty disables file writing. */
-    void setOutputPath(std::string path) { path_ = std::move(path); }
+    void
+    setOutputPath(std::string path)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        path_ = std::move(path);
+    }
     const std::string &outputPath() const { return path_; }
 
     std::uint64_t recorded() const { return recorded_; }
@@ -124,7 +143,10 @@ class Tracer
     void record(TraceCat cat, const char *name, char phase, Cycle ts,
                 Cycle dur, std::uint32_t tid,
                 std::initializer_list<TraceArg> args);
+    void writeChromeTraceLocked(std::ostream &os) const;
 
+    /** Serializes ring/config mutation across sweep worker threads. */
+    mutable std::mutex mu_;
     std::int8_t levels_[kNumTraceCats] = {0, 0, 0, 0, 0};
     bool any_ = false;
     std::vector<TraceEvent> ring_;

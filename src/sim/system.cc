@@ -72,7 +72,7 @@ class System::LocalTransport : public coherence::Transport
         }
         Packet pkt = noc::makePacket(
             src, dst, cls, coherence::packetKindOf(msg.type),
-            std::make_shared<Message>(msg));
+            common::makePooled<Message>(sys_.msgPool_, msg));
         return sys_.network_->send(std::move(pkt));
     }
 
@@ -94,6 +94,12 @@ System::System(const SystemConfig &config)
         fatal("FSOI optimizations enabled on a %s interconnect",
               netKindName(config_.network));
     }
+    FSOI_ASSERT(config_.completion_check_stride > 0
+                && std::has_single_bit(config_.completion_check_stride),
+                "completion_check_stride must be a power of two");
+    FSOI_ASSERT(config_.progress_check_stride > 0
+                && std::has_single_bit(config_.progress_check_stride),
+                "progress_check_stride must be a power of two");
     // Home interleaving consumes the low line-address bits; the L2
     // slices must index their sets with the bits above them.
     config_.dir.geometry.index_skip_bits =
@@ -351,6 +357,8 @@ System::run()
     std::uint64_t last_progress_instr = 0;
     Cycle last_progress_cycle = 0;
     bool completed = false;
+    const Cycle completion_mask = config_.completion_check_stride - 1;
+    const Cycle progress_mask = config_.progress_check_stride - 1;
 
     for (now_ = 0; now_ < config_.max_cycles; ++now_) {
         network_->tick(now_);
@@ -361,19 +369,40 @@ System::run()
             routeMessage(msg.dst, msg.msg);
         }
 
-        for (auto &mem : memctls_)
-            mem->tick(now_);
-        for (auto &dir : dirs_)
-            dir->tick(now_);
-        for (auto &l1 : l1s_)
-            l1->tick(now_);
-        for (auto &core : cores_)
-            core->tick(now_);
+        // Active-set scheduling: a component whose tick would be a
+        // no-op only gets its clock refreshed. Each branch is exact —
+        // the skipped tick's sole side effect was the now_ store (see
+        // the components' active() contracts), so stats, timing and
+        // message order match the tick-everything loop bit for bit.
+        for (auto &mem : memctls_) {
+            if (mem->active())
+                mem->tick(now_);
+            else
+                mem->syncClock(now_);
+        }
+        for (auto &dir : dirs_) {
+            if (dir->active())
+                dir->tick(now_);
+            else
+                dir->syncClock(now_);
+        }
+        for (auto &l1 : l1s_) {
+            if (l1->active())
+                l1->tick(now_);
+            else
+                l1->syncClock(now_);
+        }
+        for (auto &core : cores_) {
+            if (!core->done())
+                core->tick(now_);
+            else
+                core->syncClock(now_);
+        }
 
         if (sampler_ && now_ >= sampler_->nextDue())
             sampler_->sample(now_);
 
-        if ((now_ & 0x1F) != 0)
+        if ((now_ & completion_mask) != 0)
             continue;
 
         bool all_done = true;
@@ -384,14 +413,15 @@ System::run()
             break;
         }
 
-        if ((now_ & 0x3FFF) == 0) {
+        if ((now_ & progress_mask) == 0) {
             std::uint64_t instr = 0;
             for (const auto &core : cores_)
                 instr += core->stats().instructions.value();
             if (instr != last_progress_instr) {
                 last_progress_instr = instr;
                 last_progress_cycle = now_;
-            } else if (now_ - last_progress_cycle > 2'000'000) {
+            } else if (now_ - last_progress_cycle
+                       > config_.progress_stall_limit) {
                 std::size_t misses = 0, txns = 0;
                 for (const auto &core : cores_) {
                     if (!core->done())

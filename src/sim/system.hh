@@ -23,6 +23,7 @@
 #include "coherence/functional_memory.hh"
 #include "coherence/l1_cache.hh"
 #include "coherence/transport.hh"
+#include "common/pool.hh"
 #include "cpu/core.hh"
 #include "fsoi/fsoi_network.hh"
 #include "memory/memory_controller.hh"
@@ -68,6 +69,19 @@ struct SystemConfig
     std::uint64_t seed = 1;
     Cycle max_cycles = 100'000'000;
     int local_hop_latency = 1; //!< L1 <-> same-tile directory
+
+    /**
+     * run() checks for completion (all cores done + system drained)
+     * every completion_check_stride cycles and for forward progress
+     * every progress_check_stride cycles; a run aborts after
+     * progress_stall_limit cycles without a retired instruction. Both
+     * strides must be powers of two (the loop masks with stride - 1).
+     * Larger strides amortize the whole-system scans that active-set
+     * scheduling otherwise makes the dominant idle-phase cost.
+     */
+    Cycle completion_check_stride = 32;
+    Cycle progress_check_stride = 16384;
+    Cycle progress_stall_limit = 2'000'000;
 
     /** Paper defaults for a given scale (16 or 64 cores). */
     static SystemConfig paperConfig(int cores, NetKind kind);
@@ -186,6 +200,10 @@ class System
     SystemConfig config_;
     noc::MeshLayout layout_;
     coherence::FunctionalMemory funcMem_;
+
+    // Recycles the per-packet Message payloads; must outlive the
+    // network below, whose in-flight packets hold pointers into it.
+    common::BlockPool msgPool_;
 
     std::unique_ptr<noc::Network> network_;
     fsoi::FsoiNetwork *fsoiNet_ = nullptr; //!< non-owning view

@@ -1,0 +1,39 @@
+#!/bin/sh
+# CI entry point: Release build, full test suite, and the simulator
+# performance gate.
+#
+#   tools/ci.sh [build-dir]
+#
+# The perf gate runs bench/perf_harness in --quick mode and compares
+# cycle counts (must match exactly -- any drift is a simulation-result
+# change) and cycles/sec (must not regress more than 10%) against the
+# committed BENCH_perf.json. The baseline is host-dependent; after an
+# intentional perf change or a CI-machine move, regenerate it with
+#
+#   build/bench/perf_harness --quick --json=BENCH_perf.json
+#
+# and commit the result.
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-ci"}
+
+echo "== configure (Release) =="
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "$build" -j "$(nproc 2>/dev/null || echo 2)"
+
+echo "== test =="
+ctest --test-dir "$build" --output-on-failure
+
+echo "== perf gate =="
+# Warmup pass (discarded): absorbs post-build CPU-quota throttling and
+# cold caches so the gated measurement reflects steady state. The
+# gated pass takes best-of-5 per matrix point, interleaved to ride out
+# transient host load.
+"$build/bench/perf_harness" --quick --reps=1 > /dev/null
+"$build/bench/perf_harness" --quick --reps=5 \
+    --check="$repo/BENCH_perf.json" --tolerance=0.10
+
+echo "== ci passed =="
