@@ -70,12 +70,12 @@ main(int argc, char **argv)
                     return s;
                 }()));
     std::printf("\nmean %.1f cycles, p50 %.0f, p90 %.0f, p99 %.0f\n",
-                hist.mean(), hist.quantile(0.5), hist.quantile(0.9),
-                hist.quantile(0.99));
+                hist.mean(), hist.percentile(0.5), hist.percentile(0.9),
+                hist.percentile(0.99));
     json.scalar("mean", hist.mean());
-    json.scalar("p50", hist.quantile(0.5));
-    json.scalar("p90", hist.quantile(0.9));
-    json.scalar("p99", hist.quantile(0.99));
+    json.scalar("p50", hist.percentile(0.5));
+    json.scalar("p90", hist.percentile(0.9));
+    json.scalar("p99", hist.percentile(0.99));
     std::printf("(paper: probability heavily concentrated in a few "
                 "choices; peak ~41%% in one bin)\n");
     return 0;

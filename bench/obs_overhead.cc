@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Observability overhead gate: runs the same FSOI workload with the
+ * telemetry layer at its defaults (flight recorder ring + sampled
+ * self-profiler + link counters) and with the tunable parts disabled,
+ * then compares wall-clock cycles/sec. CI asserts the overhead stays
+ * under a budget (default 3%).
+ *
+ * The two configs must also produce bit-identical simulated cycle
+ * counts -- telemetry never touches simulation state -- and the bench
+ * fails loudly if they diverge.
+ *
+ * Host noise only ever inflates a measurement, so a round that lands
+ * under the budget is trustworthy while a round over it may just have
+ * caught a throttling spike: the gate re-measures up to --rounds times
+ * and fails only if every round exceeds the budget.
+ *
+ * Usage: obs_overhead [--max=PCT] [--reps=N] [--rounds=N] [scale]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "bench_util.hh"
+
+using namespace fsoi;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Timed
+{
+    sim::RunResult result;
+    double seconds = 0.0;
+};
+
+Timed
+timedRun(const sim::SystemConfig &cfg, const workload::AppProfile &app,
+         double scale)
+{
+    const auto t0 = Clock::now();
+    Timed t;
+    t.result = bench::runConfig(cfg, app, scale);
+    t.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double max_pct = 3.0;
+    int reps = 3;
+    int rounds = 3;
+    int keep = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--max=", 0) == 0)
+            max_pct = std::atof(arg.data() + 6);
+        else if (arg.rfind("--reps=", 0) == 0)
+            reps = std::max(1, std::atoi(arg.data() + 7));
+        else if (arg.rfind("--rounds=", 0) == 0)
+            rounds = std::max(1, std::atoi(arg.data() + 9));
+        else
+            argv[keep++] = argv[i];
+    }
+    argv[keep] = nullptr;
+    argc = keep;
+    const double scale = bench::scaleArg(argc, argv, 0.25);
+
+    bench::banner("obs_overhead",
+                  "telemetry cost: defaults vs telemetry off");
+
+    const auto app = workload::appByName("fft");
+    auto telemetry = bench::paperConfig(16, sim::NetKind::Fsoi);
+    auto bare = telemetry;
+    bare.flight_recorder_events = 0;
+    bare.profile_stride = 0;
+    auto recorder_only = bare;
+    recorder_only.flight_recorder_events =
+        telemetry.flight_recorder_events;
+    auto profiler_only = bare;
+    profiler_only.profile_stride = telemetry.profile_stride;
+
+    // Interleave the variants and keep the best rep of each, so one
+    // background hiccup cannot charge all its noise to one side. The
+    // single-feature runs are informational: they attribute the
+    // overhead, the gate compares only all-on vs all-off.
+    Timed best_tel, best_bare, best_rec, best_prof;
+    double overhead_pct = 0.0;
+    bool within_budget = false;
+    for (int round = 0; round < rounds && !within_budget; ++round) {
+        for (int r = 0; r < reps; ++r) {
+            const Timed tel = timedRun(telemetry, app, scale);
+            const Timed none = timedRun(bare, app, scale);
+            const Timed rec = timedRun(recorder_only, app, scale);
+            const Timed prof = timedRun(profiler_only, app, scale);
+            if (r == 0 || tel.seconds < best_tel.seconds)
+                best_tel = tel;
+            if (r == 0 || none.seconds < best_bare.seconds)
+                best_bare = none;
+            if (r == 0 || rec.seconds < best_rec.seconds)
+                best_rec = rec;
+            if (r == 0 || prof.seconds < best_prof.seconds)
+                best_prof = prof;
+        }
+
+        if (best_tel.result.cycles != best_bare.result.cycles
+            || best_tel.result.instructions
+                   != best_bare.result.instructions) {
+            std::fprintf(
+                stderr,
+                "FAIL: telemetry changed simulation results "
+                "(cycles %llu vs %llu, instructions %llu vs %llu)\n",
+                static_cast<unsigned long long>(best_tel.result.cycles),
+                static_cast<unsigned long long>(best_bare.result.cycles),
+                static_cast<unsigned long long>(
+                    best_tel.result.instructions),
+                static_cast<unsigned long long>(
+                    best_bare.result.instructions));
+            return 1;
+        }
+
+        overhead_pct =
+            (static_cast<double>(best_bare.result.cycles)
+                 / best_bare.seconds
+             / (static_cast<double>(best_tel.result.cycles)
+                / best_tel.seconds)
+             - 1.0)
+            * 100.0;
+        within_budget = overhead_pct <= max_pct;
+        if (!within_budget && round + 1 < rounds)
+            std::fprintf(stderr,
+                         "note: round %d measured %.2f%% (> %.2f%% "
+                         "budget), re-measuring\n",
+                         round + 1, overhead_pct, max_pct);
+    }
+
+    // One keep-run for context: how many events the recorder actually
+    // absorbed over the run (the per-event cost drives the overhead).
+    const auto kept = sim::SweepRunner::runJob(
+        sim::SweepJob{telemetry, app, scale}, true);
+    const double events =
+        static_cast<double>(kept.system->flightRecorder().recorded());
+
+    const double cps_tel =
+        static_cast<double>(best_tel.result.cycles) / best_tel.seconds;
+    const double cps_bare =
+        static_cast<double>(best_bare.result.cycles) / best_bare.seconds;
+
+    std::printf("cycles simulated     : %llu (identical both ways)\n",
+                static_cast<unsigned long long>(best_tel.result.cycles));
+    std::printf("events recorded      : %.0f (%.2f per cycle)\n", events,
+                events / static_cast<double>(best_tel.result.cycles));
+    std::printf("telemetry on         : %.2f Mcycles/s (%.3f s)\n",
+                cps_tel / 1e6, best_tel.seconds);
+    std::printf("flight recorder only : %.2f Mcycles/s (%.3f s)\n",
+                best_rec.result.cycles / best_rec.seconds / 1e6,
+                best_rec.seconds);
+    std::printf("profiler only        : %.2f Mcycles/s (%.3f s)\n",
+                best_prof.result.cycles / best_prof.seconds / 1e6,
+                best_prof.seconds);
+    std::printf("telemetry off        : %.2f Mcycles/s (%.3f s)\n",
+                cps_bare / 1e6, best_bare.seconds);
+    std::printf("overhead             : %.2f%% (budget %.2f%%)\n",
+                overhead_pct, max_pct);
+
+    if (!within_budget) {
+        std::fprintf(stderr,
+                     "FAIL: telemetry overhead %.2f%% exceeds budget "
+                     "%.2f%% in all %d rounds\n",
+                     overhead_pct, max_pct, rounds);
+        return 1;
+    }
+    std::printf("\nPASS\n");
+    return 0;
+}

@@ -24,6 +24,8 @@
  *   {"schema":"fsoi-perf-1","quick":true,"jobs":4,
  *    "runs":[{"name":"mesh.fft","cycles":123,"wall_s":1.5,
  *             "cycles_per_sec":82.0},...],
+ *    "profile":[{"name":"mesh.fft","sampled_cycles":123,
+ *                "total_ns":456,"phases":{"network":0.31,...}},...],
  *    "total":{"cycles":...,"wall_s":...,"cycles_per_sec":...},
  *    "sweep":{"jobs":4,"wall_s":...,"speedup_vs_serial":...},
  *    "peak_rss_mb":123.4}
@@ -276,6 +278,45 @@ main(int argc, char **argv)
                 "(%.2fx vs serial)\n", sweep_jobs, sweep_wall, speedup);
     std::printf("peak RSS     %.1f MiB\n", peakRssMb());
 
+    // Self-profile section: re-run the matrix untimed, keeping each
+    // System so its phase profiler can attribute host time across the
+    // tick phases. Separate from the timed loops above so the report
+    // never perturbs the cycles/sec gate.
+    struct ProfileRow
+    {
+        std::string name;
+        std::uint64_t sampled_cycles = 0;
+        double total_ns = 0;
+        double frac[obs::kNumTickPhases] = {};
+    };
+    std::vector<ProfileRow> profiles;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto outcome = sim::SweepRunner::runJob(
+            sim::SweepJob{bench::paperConfig(16, specs[i].kind, 7),
+                          workload::appByName(specs[i].app), scale},
+            true);
+        const obs::PhaseProfiler &prof = outcome.system->profiler();
+        ProfileRow row;
+        row.name = runs[i].name;
+        row.sampled_cycles = prof.sampledCycles();
+        row.total_ns = static_cast<double>(prof.totalNs());
+        for (int p = 0; p < obs::kNumTickPhases; ++p)
+            row.frac[p] = prof.fraction(static_cast<obs::TickPhase>(p));
+        profiles.push_back(std::move(row));
+    }
+    std::printf("\nphase profile (fraction of sampled tick time)\n");
+    std::printf("%-12s", "");
+    for (int p = 0; p < obs::kNumTickPhases; ++p)
+        std::printf(" %11s",
+                    obs::tickPhaseName(static_cast<obs::TickPhase>(p)));
+    std::printf("\n");
+    for (const auto &row : profiles) {
+        std::printf("%-12s", row.name.c_str());
+        for (int p = 0; p < obs::kNumTickPhases; ++p)
+            std::printf(" %10.1f%%", 100.0 * row.frac[p]);
+        std::printf("\n");
+    }
+
     if (!json_path.empty()) {
         std::ofstream os(json_path);
         if (!os) {
@@ -294,6 +335,23 @@ main(int argc, char **argv)
                           (unsigned long long)runs[i].cycles,
                           runs[i].wall_s, runs[i].cps);
             os << buf;
+        }
+        os << "],\"profile\":[";
+        for (std::size_t i = 0; i < profiles.size(); ++i) {
+            const auto &row = profiles[i];
+            os << (i ? "," : "") << "{\"name\":\"" << row.name
+               << "\",\"sampled_cycles\":" << row.sampled_cycles
+               << ",\"total_ns\":" << row.total_ns << ",\"phases\":{";
+            for (int p = 0; p < obs::kNumTickPhases; ++p) {
+                char cell[64];
+                std::snprintf(cell, sizeof(cell), "%s\"%s\":%.4f",
+                              p ? "," : "",
+                              obs::tickPhaseName(
+                                  static_cast<obs::TickPhase>(p)),
+                              row.frac[p]);
+                os << cell;
+            }
+            os << "}}";
         }
         char tail[256];
         std::snprintf(tail, sizeof(tail),

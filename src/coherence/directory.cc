@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "obs/flight_recorder.hh"
 
 namespace fsoi::coherence {
 
@@ -76,6 +77,45 @@ Directory::unpackSyncTag(std::uint64_t tag, Addr &word,
     success = tag & 2;
     value = (tag >> 2) & 0xffff;
     word = (tag >> 18) << 3;
+}
+
+const char *
+Directory::txnKindName(std::uint8_t kind)
+{
+    switch (static_cast<Txn::Kind>(kind)) {
+      case Txn::Kind::FetchSh: return "FetchSh";
+      case Txn::Kind::FetchEx: return "FetchEx";
+      case Txn::Kind::InvForEx: return "InvForEx";
+      case Txn::Kind::DwgForSh: return "DwgForSh";
+      case Txn::Kind::InvForOwn: return "InvForOwn";
+      case Txn::Kind::EvictShared: return "EvictShared";
+      case Txn::Kind::EvictOwned: return "EvictOwned";
+      case Txn::Kind::AwaitWriteBack: return "AwaitWriteBack";
+      case Txn::Kind::GrantWait: return "GrantWait";
+    }
+    return "?";
+}
+
+void
+Directory::openTxn(Addr line_addr, Txn txn)
+{
+    if (flightRec_ && flightRec_->enabled()) {
+        flightRec_->beginTransaction(
+            obs::FlightEventKind::DirTxnStart, now_, node_, line_addr,
+            static_cast<std::uint8_t>(txn.kind));
+    }
+    txns_[line_addr] = std::move(txn);
+}
+
+void
+Directory::closeTxn(std::unordered_map<Addr, Txn>::iterator it)
+{
+    if (flightRec_ && flightRec_->enabled()) {
+        flightRec_->endTransaction(
+            obs::FlightEventKind::DirTxnEnd, now_, node_, it->first,
+            static_cast<std::uint8_t>(it->second.kind));
+    }
+    txns_.erase(it);
 }
 
 void
@@ -196,7 +236,7 @@ Directory::grantAndComplete(Addr line_addr, NodeId dst, MsgType type,
         txn.requester = dst;
         txn.grant_type = type;
         txn.pending = std::move(pending);
-        txns_[line_addr] = std::move(txn);
+        openTxn(line_addr, std::move(txn));
         return;
     }
     drainPending(line_addr, std::move(pending));
@@ -232,7 +272,7 @@ Directory::processRequest(const Message &msg)
         Txn txn{};
         txn.kind = wants_write ? Txn::Kind::FetchEx : Txn::Kind::FetchSh;
         txn.requester = req;
-        txns_[line_addr] = std::move(txn);
+        openTxn(line_addr, std::move(txn));
         Message fetch{};
         fetch.type = MsgType::MemRead;
         fetch.line = line_addr;
@@ -295,7 +335,7 @@ Directory::processRequest(const Message &msg)
                 queueSend(n, inv, config_.ctrl_latency);
             }
         }
-        txns_[line_addr] = std::move(txn);
+        openTxn(line_addr, std::move(txn));
         return;
       }
 
@@ -334,7 +374,7 @@ Directory::processRequest(const Message &msg)
                              {"req", req});
         }
         queueSend(owner, demand, config_.ctrl_latency);
-        txns_[line_addr] = std::move(txn);
+        openTxn(line_addr, std::move(txn));
         return;
       }
 
@@ -419,7 +459,7 @@ Directory::makeRoomL2(Addr line_addr)
                          {"owner", slot->meta.owner});
         queueSend(slot->meta.owner, demand, config_.ctrl_latency);
     }
-    txns_[slot->tag] = std::move(txn);
+    openTxn(slot->tag, std::move(txn));
     return nullptr;
 }
 
@@ -442,7 +482,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.sharers = 0;
             const NodeId req = txn.requester;
             auto pending = std::move(txn.pending);
-            txns_.erase(it);
+            closeTxn(it);
             grantAndComplete(line_addr, req, MsgType::DataE,
                              std::move(pending));
             return;
@@ -455,7 +495,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.sharers = 0;
             const NodeId req = txn.requester;
             auto pending = std::move(txn.pending);
-            txns_.erase(it);
+            closeTxn(it);
             grantAndComplete(line_addr, req, MsgType::DataM,
                              std::move(pending));
             return;
@@ -464,7 +504,7 @@ Directory::handleWriteBack(const Message &msg)
             FSOI_ASSERT(ln);
             ln->meta.dirty = true;
             auto pending = std::move(txn.pending);
-            txns_.erase(it);
+            closeTxn(it);
             evictLine(ln);
             drainPending(line_addr, std::move(pending));
             return;
@@ -475,7 +515,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.state = DirState::DV;
             ln->meta.owner = kInvalidNode;
             auto pending = std::move(txn.pending);
-            txns_.erase(it);
+            closeTxn(it);
             drainPending(line_addr, std::move(pending));
             return;
           }
@@ -537,7 +577,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         const NodeId req = txn.requester;
         const bool upgrade = txn.upgrade;
         auto pending = std::move(txn.pending);
-        txns_.erase(it);
+        closeTxn(it);
         grantAndComplete(line_addr, req,
                          upgrade ? MsgType::ExcAck : MsgType::DataM,
                          std::move(pending));
@@ -552,7 +592,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         ln->meta.sharers = 0;
         const NodeId req = txn.requester;
         auto pending = std::move(txn.pending);
-        txns_.erase(it);
+        closeTxn(it);
         grantAndComplete(line_addr, req, MsgType::DataM,
                          std::move(pending));
         return;
@@ -565,7 +605,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         if (--txn.acks_pending > 0)
             return;
         auto pending = std::move(txn.pending);
-        txns_.erase(it);
+        closeTxn(it);
         evictLine(ln);
         drainPending(line_addr, std::move(pending));
         return;
@@ -603,7 +643,7 @@ Directory::handleDwgAck(const Message &msg, bool with_data)
     ln->meta.sharers = bit(old_owner) | bit(txn.requester);
     const NodeId req = txn.requester;
     auto pending = std::move(txn.pending);
-    txns_.erase(it);
+    closeTxn(it);
     grantAndComplete(line_addr, req, MsgType::DataS, std::move(pending));
 }
 
@@ -634,7 +674,7 @@ Directory::handleMemReply(const Message &msg)
     const MsgType grant =
         kind == Txn::Kind::FetchSh ? MsgType::DataE : MsgType::DataM;
     auto pending = std::move(it->second.pending);
-    txns_.erase(it);
+    closeTxn(it);
     grantAndComplete(line_addr, req, grant, std::move(pending));
 }
 
@@ -702,7 +742,7 @@ Directory::onConfirm(const Message &msg)
     if (txn.kind == Txn::Kind::GrantWait) {
         if (msg.type == txn.grant_type) {
             auto pending = std::move(txn.pending);
-            txns_.erase(it);
+            closeTxn(it);
             drainPending(msg.line, std::move(pending));
         }
         return;

@@ -34,6 +34,8 @@
 #include "common/stats.hh"
 #include "obs/stat_registry.hh"
 
+namespace fsoi::obs { class FlightRecorder; }
+
 namespace fsoi::coherence {
 
 /** Directory stable states (Table 2). */
@@ -96,6 +98,11 @@ class Directory
     /** Publish this directory's stats under @p scope (e.g. dir3). */
     void registerStats(const obs::Scope &scope) const;
 
+    /** Register every transaction with the System's flight recorder
+     *  (nullptr = off). The recorder must outlive this directory. */
+    void setFlightRecorder(obs::FlightRecorder *rec)
+    { flightRec_ = rec; }
+
     /** Handle a message delivered by the transport. */
     void handleMessage(const Message &msg);
 
@@ -148,6 +155,9 @@ class Directory
                               std::uint64_t &value, bool &success,
                               bool &direct);
 
+    /** Printable name for a Txn::Kind value (flight-recorder dumps). */
+    static const char *txnKindName(std::uint8_t kind);
+
   private:
     struct DirMeta
     {
@@ -194,6 +204,12 @@ class Directory
         std::uint64_t version = 1;
         std::uint64_t subscribers = 0;
     };
+
+    /** Insert @p txn for @p line_addr, logging DirTxnStart. All
+     *  transaction creation funnels through here. */
+    void openTxn(Addr line_addr, Txn txn);
+    /** Erase the transaction at @p it, logging DirTxnEnd. */
+    void closeTxn(std::unordered_map<Addr, Txn>::iterator it);
 
     void queueSend(NodeId dst, const Message &msg, int latency);
     void sendNack(const Message &msg);
@@ -247,6 +263,7 @@ class Directory
 
     Cycle now_ = 0;
     DirStats stats_;
+    obs::FlightRecorder *flightRec_ = nullptr;
 };
 
 } // namespace fsoi::coherence

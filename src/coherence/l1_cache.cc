@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "obs/flight_recorder.hh"
 
 namespace fsoi::coherence {
 
@@ -28,6 +29,17 @@ L1Cache::L1Cache(NodeId node, const L1Config &config, Transport &transport,
       homeOf_(std::move(home_of)), array_(config.geometry)
 {
     FSOI_ASSERT(config_.num_mshrs >= 1 && config_.store_buffer >= 1);
+}
+
+const char *
+L1Cache::wantName(std::uint8_t want)
+{
+    switch (static_cast<Mshr::Want>(want)) {
+      case Mshr::Want::Shared: return "Shared";
+      case Mshr::Want::Exclusive: return "Exclusive";
+      case Mshr::Want::Upgrade: return "Upgrade";
+    }
+    return "?";
 }
 
 L1State
@@ -103,8 +115,14 @@ L1Cache::issueRequest(Addr line, Mshr &mshr)
     queueSend(homeOf_(line), msg);
     mshr.request_outstanding = true;
     mshr.retry_at = kNoCycle;
-    if (mshr.created == 0)
+    if (mshr.created == 0) {
         mshr.created = now_;
+        if (flightRec_ && flightRec_->enabled()) {
+            flightRec_->beginTransaction(
+                obs::FlightEventKind::MshrAlloc, now_, node_, line,
+                static_cast<std::uint8_t>(mshr.want));
+        }
+    }
 }
 
 bool
@@ -291,6 +309,11 @@ L1Cache::finishMshr(Addr line, L1State granted)
     Mshr mshr = std::move(it->second);
     mshrs_.erase(it);
     stats_.miss_latency.add(static_cast<double>(now_ - mshr.created));
+    if (flightRec_ && flightRec_->enabled()) {
+        flightRec_->endTransaction(
+            obs::FlightEventKind::MshrFree, now_, node_, line,
+            static_cast<std::uint8_t>(granted));
+    }
 
     auto *ln = array_.find(line);
     FSOI_ASSERT(ln && ln->valid);

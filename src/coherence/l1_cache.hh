@@ -34,6 +34,8 @@
 #include "common/stats.hh"
 #include "obs/stat_registry.hh"
 
+namespace fsoi::obs { class FlightRecorder; }
+
 namespace fsoi::coherence {
 
 /** L1 stable states (Table 2). */
@@ -98,6 +100,11 @@ class L1Cache
     /** Publish this cache's stats under @p scope (e.g. core3.l1). */
     void registerStats(const obs::Scope &scope) const;
 
+    /** Register every miss with the System's flight recorder (nullptr
+     *  = off). The recorder must outlive this cache. */
+    void setFlightRecorder(obs::FlightRecorder *rec)
+    { flightRec_ = rec; }
+
     /**
      * Issue a load. Returns false when no MSHR is available (the core
      * retries next cycle). The callback fires when the value is ready
@@ -153,6 +160,9 @@ class L1Cache
 
     /** Print outstanding state to stderr (watchdog diagnostics). */
     void debugDump() const;
+
+    /** Printable name for an MSHR want value (flight-recorder dumps). */
+    static const char *wantName(std::uint8_t want);
 
   private:
     struct LineMeta
@@ -235,6 +245,7 @@ class L1Cache
 
     Cycle now_ = 0;
     L1Stats stats_;
+    obs::FlightRecorder *flightRec_ = nullptr;
 };
 
 } // namespace fsoi::coherence

@@ -8,6 +8,8 @@ namespace fsoi {
 
 namespace {
 
+FatalHook fatalHook = nullptr;
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
@@ -17,7 +19,24 @@ vreport(const char *tag, const char *fmt, va_list ap)
     std::fflush(stderr);
 }
 
+void
+runFatalHook()
+{
+    if (FatalHook hook = fatalHook) {
+        fatalHook = nullptr;
+        hook();
+    }
+}
+
 } // namespace
+
+FatalHook
+setFatalHook(FatalHook hook)
+{
+    FatalHook prev = fatalHook;
+    fatalHook = hook;
+    return prev;
+}
 
 void
 panic(const char *fmt, ...)
@@ -26,6 +45,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("panic", fmt, ap);
     va_end(ap);
+    runFatalHook();
     std::abort();
 }
 
@@ -36,6 +56,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     vreport("fatal", fmt, ap);
     va_end(ap);
+    runFatalHook();
     std::exit(1);
 }
 
@@ -71,6 +92,7 @@ panicAt(const char *file, int line, const char *cond, const char *fmt, ...)
     }
     std::fputc('\n', stderr);
     std::fflush(stderr);
+    runFatalHook();
     std::abort();
 }
 

@@ -32,6 +32,17 @@ void inform(const char *fmt, ...)
                           const char *fmt = nullptr, ...);
 
 /**
+ * Last-gasp callback invoked (once) after a panic/fatal message is
+ * printed but before the process dies, so higher layers can flush
+ * diagnostics -- the observability layer installs one that writes the
+ * trace ring and flight-recorder dumps. Returns the previous hook.
+ * The hook is cleared before invocation, so a panic inside the hook
+ * cannot recurse.
+ */
+using FatalHook = void (*)();
+FatalHook setFatalHook(FatalHook hook);
+
+/**
  * Always-on assertion (survives NDEBUG). Optional printf-style message:
  * FSOI_ASSERT(x > 0) or FSOI_ASSERT(x > 0, "x=%d", x).
  */

@@ -31,6 +31,34 @@ Histogram::quantile(double q) const
 }
 
 double
+Histogram::percentile(double p) const
+{
+    FSOI_ASSERT(p >= 0.0 && p <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t before = underflow_;
+    if (static_cast<double>(before) >= target)
+        return 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const std::uint64_t in_bin = bins_[i];
+        if (static_cast<double>(before + in_bin) < target) {
+            before += in_bin;
+            continue;
+        }
+        const double frac = in_bin
+            ? (target - static_cast<double>(before)) / in_bin : 1.0;
+        const double lo = static_cast<double>(i) * binWidth_;
+        // The overflow bucket has no upper boundary; interpolate
+        // toward the largest sample actually observed instead.
+        const double hi = i + 1 < bins_.size()
+            ? lo + binWidth_ : std::max(acc_.max(), lo);
+        return lo + frac * (hi - lo);
+    }
+    return static_cast<double>(numBins()) * binWidth_;
+}
+
+double
 geometricMean(const std::vector<double> &xs)
 {
     double log_sum = 0.0;

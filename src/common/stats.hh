@@ -140,6 +140,15 @@ class Histogram
     /** Smallest x such that at least quantile q of samples are <= x. */
     double quantile(double q) const;
 
+    /**
+     * Like quantile(), but interpolates linearly inside the bucket the
+     * target sample falls in instead of reporting the bucket's upper
+     * boundary, so consumers get sub-bin resolution (p in [0, 1]).
+     * Mass in the overflow bucket interpolates toward the observed
+     * maximum; underflow mass reports 0.
+     */
+    double percentile(double p) const;
+
     void
     reset()
     {

@@ -59,6 +59,9 @@ FsoiNetwork::FsoiNetwork(const noc::MeshLayout &layout,
 
     slotCyclesCached_[0] = computeSlotCycles(PacketClass::Meta);
     slotCyclesCached_[1] = computeSlotCycles(PacketClass::Data);
+
+    txSlots_[0].resize(layout.numEndpoints());
+    txSlots_[1].resize(layout.numEndpoints());
 }
 
 int
@@ -125,6 +128,75 @@ FsoiNetwork::registerStats(const obs::Scope &scope) const
     txp.derived("data", [this] {
         return transmissionProbability(PacketClass::Data);
     });
+
+    // Per-node channel occupancy: how many slots each node's lanes
+    // actually transmitted in, plus the VCSEL duty cycle. This is the
+    // FSOI half of the tools/stats_report heatmap.
+    const obs::Scope channels = scope.scope("channels");
+    for (NodeId node = 0; node < static_cast<NodeId>(numEndpoints());
+         ++node) {
+        const obs::Scope n = channels.scope("n" + std::to_string(node));
+        n.counter("meta_tx_slots", txSlots_[0][node]);
+        n.counter("data_tx_slots", txSlots_[1][node]);
+        n.derived("util",
+                  [this, node] { return channelUtilization(node); });
+    }
+}
+
+double
+FsoiNetwork::channelUtilization(NodeId node) const
+{
+    if (now() == 0)
+        return 0.0;
+    const std::uint64_t lasing =
+        txSlots(node, PacketClass::Meta)
+            * static_cast<std::uint64_t>(slotCycles(PacketClass::Meta))
+        + txSlots(node, PacketClass::Data)
+            * static_cast<std::uint64_t>(slotCycles(PacketClass::Data));
+    // Two independent lanes per node, each usable every cycle.
+    return static_cast<double>(lasing) / (2.0 * now());
+}
+
+void
+FsoiNetwork::writeLaneStateJson(std::ostream &os) const
+{
+    os << "{\"packets_in_flight\":" << packetsInFlight_
+       << ",\"lanes\":[";
+    bool sep = false;
+    for (NodeId node = 0; node < static_cast<NodeId>(numEndpoints());
+         ++node) {
+        for (PacketClass cls :
+             {PacketClass::Meta, PacketClass::Data}) {
+            const TxLane &ln = lane(node, cls);
+            if (ln.queue.empty() && ln.retries.empty())
+                continue;
+            os << (sep ? "," : "") << "{\"node\":" << node
+               << ",\"class\":\""
+               << (cls == PacketClass::Meta ? "meta" : "data")
+               << "\",\"queued\":" << ln.queue.size()
+               << ",\"retrying\":" << ln.retries.size();
+            if (!ln.retries.empty()) {
+                const RetryEntry *oldest = &ln.retries.front();
+                for (const auto &r : ln.retries)
+                    if (r.pkt.created < oldest->pkt.created)
+                        oldest = &r;
+                os << ",\"oldest_retry\":{\"id\":" << oldest->pkt.id
+                   << ",\"dst\":" << oldest->pkt.dst
+                   << ",\"created\":" << oldest->pkt.created
+                   << ",\"retries\":" << oldest->pkt.retries
+                   << ",\"retry_at\":" << oldest->retry_at << "}";
+            } else {
+                const QueuedPacket &head = ln.queue.front();
+                os << ",\"head\":{\"id\":" << head.pkt.id
+                   << ",\"dst\":" << head.pkt.dst
+                   << ",\"created\":" << head.pkt.created
+                   << ",\"release_at\":" << head.release_at << "}";
+            }
+            os << "}";
+            sep = true;
+        }
+    }
+    os << "]}";
 }
 
 FsoiNetwork::TxLane &
@@ -471,6 +543,7 @@ FsoiNetwork::startSlot(PacketClass cls, Cycle now)
                         static_cast<Cycle>(slot_len), node,
                         {"id", pkt.id}, {"dst", pkt.dst});
         stats().recordAttempt(cls);
+        txSlots_[static_cast<int>(cls)][node]++;
         activity_.vcsel_slot_cycles +=
             static_cast<std::uint64_t>(slot_len) * vcsels;
         activity_.bits_transmitted += noc::packetBits(cls);

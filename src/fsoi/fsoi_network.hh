@@ -157,6 +157,21 @@ class FsoiNetwork : public noc::Network
     double meanDataResolutionDelay() const
     { return dataResolution_.mean(); }
 
+    /** Slots node @p node spent transmitting on its @p cls lane. */
+    std::uint64_t txSlots(NodeId node, PacketClass cls) const
+    { return txSlots_[static_cast<int>(cls)][node].value(); }
+
+    /** Fraction of elapsed cycles node @p node's VCSELs were lasing. */
+    double channelUtilization(NodeId node) const;
+
+    /**
+     * Write the stuck-lane snapshot the flight recorder embeds in its
+     * "context" object: every transmit lane with queued or retrying
+     * packets, including the oldest packet's id/destination and when
+     * it may next transmit.
+     */
+    void writeLaneStateJson(std::ostream &os) const;
+
   private:
     struct QueuedPacket
     {
@@ -248,6 +263,8 @@ class FsoiNetwork : public noc::Network
     std::deque<ReservationEntry> reservationLog_;
 
     Counter slotsElapsed_[2];
+    /** Per-class, per-node transmit-slot counts (channel heatmap). */
+    std::vector<Counter> txSlots_[2];
     Counter dataCollisionEvents_[
         static_cast<int>(CollisionCategory::kCount)];
     Accumulator dataResolution_;

@@ -16,6 +16,8 @@ namespace {
 enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
 constexpr int kFirstLocal = 4;
 
+const char *const kDirectionNames[4] = {"east", "west", "north", "south"};
+
 } // namespace
 
 /** One flit of a packet in flight. */
@@ -111,6 +113,7 @@ struct MeshNetwork::Router
 
 MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config)
     : Network(layout.numEndpoints()), layout_(layout), config_(config),
+      linkFlits_(static_cast<std::size_t>(layout.side() * layout.side())),
       injectors_(static_cast<std::size_t>(layout.numEndpoints()))
 {
     FSOI_ASSERT(config_.num_vcs >= 2 && config_.num_vcs % 2 == 0,
@@ -231,6 +234,25 @@ MeshNetwork::registerStats(const obs::Scope &scope) const
                      activity_.crossbar_traversals);
     activity.counter("link_traversals", activity_.link_traversals);
     activity.counter("arbitrations", activity_.arbitrations);
+
+    // Per-link traversal counts and router occupancy gauges: the
+    // heatmap data tools/stats_report renders. Only links that exist
+    // are registered (edge routers lack some directions).
+    const obs::Scope links = scope.scope("links");
+    const obs::Scope occupancy = scope.scope("occupancy");
+    for (const auto &rptr : routers_) {
+        const Router &router = *rptr;
+        const obs::Scope r = links.scope("r" + std::to_string(router.id));
+        for (int d = 0; d < 4; ++d) {
+            if (router.out[d].peer)
+                r.counter(kDirectionNames[d], linkFlits_[router.id][d]);
+        }
+        occupancy.derived("r" + std::to_string(router.id),
+                          [&router] {
+                              return static_cast<double>(
+                                  router.buffered_flits);
+                          });
+    }
 }
 
 bool
@@ -513,6 +535,7 @@ MeshNetwork::tick(Cycle now)
                 --oport.credits[out_vc];
                 FSOI_ASSERT(oport.credits[out_vc] >= 0);
                 activity_.link_traversals++;
+                linkFlits_[router.id][o]++;
                 flit.ready_at = now + config_.link_cycles
                     + config_.router_cycles;
                 auto &dbuf = oport.peer->in[oport.peer_port].vcs[out_vc].buf;
@@ -579,6 +602,58 @@ MeshNetwork::debugDump() const
                              inj.remaining[c], inj.vc[c]);
         }
     }
+}
+
+void
+MeshNetwork::writeLinkStateJson(std::ostream &os) const
+{
+    os << "{\"packets_in_flight\":" << packetsInFlight_
+       << ",\"routers\":[";
+    bool sep = false;
+    for (const auto &rptr : routers_) {
+        const Router &router = *rptr;
+        if (router.buffered_flits == 0)
+            continue;
+        os << (sep ? "," : "") << "{\"id\":" << router.id
+           << ",\"buffered_flits\":" << router.buffered_flits
+           << ",\"blocked_out\":[";
+        bool bsep = false;
+        for (std::size_t o = 0; o < router.out.size(); ++o) {
+            const auto &op = router.out[o];
+            for (int v = 0; v < config_.num_vcs; ++v) {
+                // A busy VC with no credits is where wormhole
+                // backpressure originates; report those first.
+                if (!op.vc_busy[v])
+                    continue;
+                os << (bsep ? "," : "") << "{\"port\":";
+                if (o < static_cast<std::size_t>(kFirstLocal))
+                    os << "\"" << kDirectionNames[o] << "\"";
+                else
+                    os << "\"local" << (o - kFirstLocal) << "\"";
+                os << ",\"vc\":" << v << ",\"credits\":"
+                   << (op.local ? -1 : op.credits[v]) << "}";
+                bsep = true;
+            }
+        }
+        os << "]}";
+        sep = true;
+    }
+    os << "],\"injectors\":[";
+    sep = false;
+    for (std::size_t ep = 0; ep < injectors_.size(); ++ep) {
+        const auto &inj = injectors_[ep];
+        const std::size_t backlog =
+            inj.lanes[0].queue.size() + inj.lanes[1].queue.size();
+        const bool active = inj.active[0] || inj.active[1];
+        if (backlog == 0 && !active)
+            continue;
+        os << (sep ? "," : "") << "{\"endpoint\":" << ep
+           << ",\"queued_meta\":" << inj.lanes[0].queue.size()
+           << ",\"queued_data\":" << inj.lanes[1].queue.size()
+           << ",\"mid_packet\":" << (active ? "true" : "false") << "}";
+        sep = true;
+    }
+    os << "]}";
 }
 
 bool

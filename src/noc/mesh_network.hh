@@ -21,8 +21,10 @@
 #ifndef FSOI_NOC_MESH_NETWORK_HH
 #define FSOI_NOC_MESH_NETWORK_HH
 
+#include <array>
 #include <deque>
 #include <memory>
+#include <ostream>
 #include <vector>
 
 #include "common/pool.hh"
@@ -86,6 +88,19 @@ class MeshNetwork : public Network
     /** Print buffered-flit state to stderr (watchdog diagnostics). */
     void debugDump() const;
 
+    /** Flits that crossed router @p router's link in @p direction
+     *  (0=east, 1=west, 2=north, 3=south); 0 for absent edge links. */
+    std::uint64_t linkFlits(int router, int direction) const
+    { return linkFlits_[router][direction].value(); }
+
+    /**
+     * Write the congestion snapshot the flight recorder embeds in its
+     * "context" object: one JSON value describing every router holding
+     * flits (with its blocked output VCs) and every injector with a
+     * backlog. Empty run -> compact all-clear object.
+     */
+    void writeLinkStateJson(std::ostream &os) const;
+
   private:
     struct Router;
     struct Flit;
@@ -120,6 +135,8 @@ class MeshNetwork : public Network
     MeshLayout layout_;
     MeshConfig config_;
     MeshActivity activity_;
+    /** Per-router, per-direction link traversal counts (heatmap). */
+    std::vector<std::array<Counter, 4>> linkFlits_;
     // The packet pool must outlive the flit buffers / pending list that
     // hold shared_ptrs allocated from it, hence declared first.
     common::BlockPool pktPool_;

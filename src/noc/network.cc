@@ -30,6 +30,8 @@ NetworkStats::recordDelivery(const Packet &pkt)
     network_.add(static_cast<double>(pkt.networkLatency()));
     collision_.add(static_cast<double>(pkt.collisionLatency()));
     perClass_[index(pkt.cls)].add(total);
+    latencyHistAll_.add(total);
+    latencyHist_[index(pkt.cls)].add(total);
 }
 
 void
@@ -69,6 +71,12 @@ NetworkStats::registerStats(const obs::Scope &scope) const
     latency.accumulator("collision_resolution", collision_);
     latency.accumulator("meta", perClass_[index(PacketClass::Meta)]);
     latency.accumulator("data", perClass_[index(PacketClass::Data)]);
+    latency.histogram("hist", latencyHistAll_);
+    latency.histogram("hist_meta", latencyHist_[index(PacketClass::Meta)]);
+    latency.histogram("hist_data", latencyHist_[index(PacketClass::Data)]);
+    latency.derived("p50", [this] { return latencyPercentile(0.50); });
+    latency.derived("p99", [this] { return latencyPercentile(0.99); });
+    latency.derived("p999", [this] { return latencyPercentile(0.999); });
 }
 
 void
@@ -89,6 +97,9 @@ NetworkStats::reset()
     collision_.reset();
     perClass_[0].reset();
     perClass_[1].reset();
+    latencyHistAll_.reset();
+    latencyHist_[0].reset();
+    latencyHist_[1].reset();
 }
 
 Network::Network(int num_endpoints)

@@ -70,6 +70,15 @@ class NetworkStats
     const Accumulator &latencyOf(PacketClass cls) const
     { return perClass_[index(cls)]; }
 
+    /** End-to-end latency distributions (all packets / per class). */
+    const Histogram &latencyHistogram() const { return latencyHistAll_; }
+    const Histogram &latencyHistogramOf(PacketClass cls) const
+    { return latencyHist_[index(cls)]; }
+
+    /** Interpolated end-to-end latency percentile, p in [0, 1]. */
+    double latencyPercentile(double p) const
+    { return latencyHistAll_.percentile(p); }
+
     /** Publish every stat under @p scope (delivered.*, latency.*, ...). */
     void registerStats(const obs::Scope &scope) const;
 
@@ -77,6 +86,16 @@ class NetworkStats
 
   private:
     static int index(PacketClass cls) { return static_cast<int>(cls); }
+
+    /**
+     * Latency histogram shape: 4-cycle bins over [0, 1024) cover the
+     * realistic delivery range of every interconnect here (a mesh hop
+     * is a few cycles, FSOI retries add tens); the tail past that sits
+     * in the overflow bucket, where percentile() interpolates toward
+     * the observed maximum.
+     */
+    static constexpr double kLatencyBinWidth = 4.0;
+    static constexpr std::size_t kLatencyBins = 256;
 
     Counter deliveredCount_[2];
     Counter collisions_[2];
@@ -88,6 +107,9 @@ class NetworkStats
     Accumulator network_;
     Accumulator collision_;
     Accumulator perClass_[2];
+    Histogram latencyHistAll_{kLatencyBinWidth, kLatencyBins};
+    Histogram latencyHist_[2]{{kLatencyBinWidth, kLatencyBins},
+                              {kLatencyBinWidth, kLatencyBins}};
 };
 
 /**

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Abnormal-exit diagnostics: one call installs (idempotently) the
+ * hooks that keep observability data from dying with the process —
+ *
+ *  - a common::logging fatal hook, so panic()/fatal()/FSOI_ASSERT
+ *    flush the trace ring and dump every live flight recorder before
+ *    aborting;
+ *  - signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGABRT, SIGINT,
+ *    SIGTERM) that do the same and then re-raise with the default
+ *    disposition, preserving the process's exit status / core dump.
+ *
+ * The dump lands at $FSOI_FLIGHT_FILE (default "fsoi_flight.json"),
+ * one JSON document per live System. Everything here is best-effort:
+ * it runs when the process is already dying, takes locks that are
+ * normally uncontended, and guards against re-entry so a crash inside
+ * the dump path cannot loop.
+ */
+
+#ifndef FSOI_OBS_CRASH_HH
+#define FSOI_OBS_CRASH_HH
+
+namespace fsoi::obs {
+
+/** Install the fatal hook + signal handlers. Idempotent. */
+void installCrashHooks();
+
+/**
+ * Immediately flush the tracer and dump all live flight recorders
+ * (at most once per process — later calls are no-ops, so a watchdog
+ * dump is not overwritten by the panic that follows it).
+ */
+void crashDump(const char *reason);
+
+/** Where crashDump writes ($FSOI_FLIGHT_FILE or the default). */
+const char *flightDumpPath();
+
+} // namespace fsoi::obs
+
+#endif // FSOI_OBS_CRASH_HH

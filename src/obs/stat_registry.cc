@@ -146,8 +146,8 @@ StatRegistry::scalarValues(std::vector<double> &out) const
           case StatKind::Histogram:
             out.push_back(static_cast<double>(e.histogram->count()));
             out.push_back(e.histogram->mean());
-            out.push_back(e.histogram->quantile(0.5));
-            out.push_back(e.histogram->quantile(0.99));
+            out.push_back(e.histogram->percentile(0.5));
+            out.push_back(e.histogram->percentile(0.99));
             break;
         }
     }
@@ -219,8 +219,8 @@ class TextVisitor : public StatVisitor
     onHistogram(const std::string &name, const Histogram &h) override
     {
         line(name) << "n=" << h.count() << " mean=" << h.mean()
-                   << " p50=" << h.quantile(0.5)
-                   << " p99=" << h.quantile(0.99)
+                   << " p50=" << h.percentile(0.5)
+                   << " p99=" << h.percentile(0.99)
                    << " underflow=" << h.underflow()
                    << " overflow=" << h.overflow() << "\n";
     }
@@ -335,9 +335,9 @@ class JsonVisitor : public StatVisitor
         os << "{\"count\":" << h.count() << ",\"mean\":";
         jsonNumber(os, h.mean());
         os << ",\"p50\":";
-        jsonNumber(os, h.quantile(0.5));
+        jsonNumber(os, h.percentile(0.5));
         os << ",\"p99\":";
-        jsonNumber(os, h.quantile(0.99));
+        jsonNumber(os, h.percentile(0.99));
         os << ",\"underflow\":" << h.underflow()
            << ",\"overflow\":" << h.overflow()
            << ",\"bin_width\":";

@@ -241,6 +241,21 @@ Tracer::flush() const
 }
 
 void
+Tracer::crashFlush() const
+{
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    // A signal may have interrupted a thread mid-record() while it
+    // held mu_; writing a possibly-torn ring beats deadlocking the
+    // dying process.
+    if (!any_ || path_.empty())
+        return;
+    std::ofstream os(path_);
+    if (!os)
+        return;
+    writeChromeTraceLocked(os);
+}
+
+void
 Tracer::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);

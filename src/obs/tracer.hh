@@ -134,6 +134,14 @@ class Tracer
     /** Write to outputPath() when tracing is on; called at exit. */
     void flush() const;
 
+    /**
+     * Abnormal-exit flush: like flush(), but only try-locks the ring
+     * mutex so a signal landing mid-record() cannot deadlock the
+     * dying process. When the lock is contended the partial ring is
+     * written anyway — a slightly torn trace beats losing it.
+     */
+    void crashFlush() const;
+
     /** Disable all categories and clear the buffer (tests). */
     void reset();
 

@@ -1,0 +1,16 @@
+#include "obs/watchdog.hh"
+
+namespace fsoi::obs {
+
+const char *
+watchdogVerdictName(WatchdogVerdict verdict)
+{
+    switch (verdict) {
+      case WatchdogVerdict::Ok: return "ok";
+      case WatchdogVerdict::Deadlock: return "deadlock";
+      case WatchdogVerdict::Livelock: return "livelock";
+    }
+    return "?";
+}
+
+} // namespace fsoi::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Run-health watchdog: a no-forward-progress detector fed from inside
+ * the simulation loop. The loop reports two monotone heartbeats —
+ * retired instructions and network events (deliveries + transmission
+ * attempts) — at its existing progress-check stride, and the watchdog
+ * trips once the instruction feed has been flat for a full quiet
+ * window. The network feed then classifies the failure:
+ *
+ *   Deadlock  — nothing moved at all: cores are stalled *and* the
+ *               interconnect has gone silent. Typical of a lost
+ *               message or a protocol state that can never be
+ *               satisfied.
+ *   Livelock  — the interconnect is still churning (retries, NACK
+ *               loops, collision storms) but no instruction retires.
+ *
+ * The watchdog is pure cycle arithmetic over values the caller already
+ * computes: no clocks, no threads, fully deterministic and therefore
+ * unit-testable with synthetic feeds.
+ */
+
+#ifndef FSOI_OBS_WATCHDOG_HH
+#define FSOI_OBS_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fsoi::obs {
+
+enum class WatchdogVerdict : std::uint8_t { Ok, Deadlock, Livelock };
+
+const char *watchdogVerdictName(WatchdogVerdict verdict);
+
+class Watchdog
+{
+  public:
+    struct Config
+    {
+        /** Cycles the instruction feed may stay flat before tripping. */
+        Cycle quiet_window = 2'000'000;
+    };
+
+    struct Report
+    {
+        WatchdogVerdict verdict = WatchdogVerdict::Ok;
+        /** Cycles since an instruction last retired. */
+        Cycle stalled_for = 0;
+        /** Cycles since the network feed last moved. */
+        Cycle net_quiet_for = 0;
+    };
+
+    explicit Watchdog(Config config) : config_(config) {}
+
+    /**
+     * Feed the current heartbeat values (@p instructions and
+     * @p net_events must be monotone). Returns the verdict; callers
+     * act on anything != Ok. Checks need not be equidistant — the
+     * loop may check coarsely and the window is measured in cycles.
+     */
+    Report
+    check(Cycle now, std::uint64_t instructions,
+          std::uint64_t net_events)
+    {
+        if (instructions != last_instructions_) {
+            last_instructions_ = instructions;
+            last_instr_cycle_ = now;
+        }
+        if (net_events != last_net_events_) {
+            last_net_events_ = net_events;
+            last_net_cycle_ = now;
+        }
+        Report report;
+        report.stalled_for = now - last_instr_cycle_;
+        report.net_quiet_for = now - last_net_cycle_;
+        if (report.stalled_for > config_.quiet_window) {
+            report.verdict = report.net_quiet_for <= config_.quiet_window
+                ? WatchdogVerdict::Livelock
+                : WatchdogVerdict::Deadlock;
+        }
+        return report;
+    }
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_;
+    std::uint64_t last_instructions_ = 0;
+    std::uint64_t last_net_events_ = 0;
+    Cycle last_instr_cycle_ = 0;
+    Cycle last_net_cycle_ = 0;
+};
+
+} // namespace fsoi::obs
+
+#endif // FSOI_OBS_WATCHDOG_HH

@@ -7,6 +7,8 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "obs/crash.hh"
+#include "obs/watchdog.hh"
 
 namespace fsoi::sim {
 
@@ -59,6 +61,7 @@ class System::LocalTransport : public coherence::Transport
                 sys_.now_
                     + static_cast<Cycle>(sys_.config_.local_hop_latency),
                 dst, msg});
+            recordSend(src, dst, msg);
             return true;
         }
         const PacketClass cls = coherence::isDataMessage(msg.type)
@@ -73,7 +76,21 @@ class System::LocalTransport : public coherence::Transport
         Packet pkt = noc::makePacket(
             src, dst, cls, coherence::packetKindOf(msg.type),
             common::makePooled<Message>(sys_.msgPool_, msg));
-        return sys_.network_->send(std::move(pkt));
+        if (!sys_.network_->send(std::move(pkt)))
+            return false;
+        recordSend(src, dst, msg);
+        return true;
+    }
+
+  private:
+    void
+    recordSend(NodeId src, NodeId dst, const Message &msg)
+    {
+        if (sys_.flightRec_.enabled()) {
+            sys_.flightRec_.record(
+                obs::FlightEventKind::MsgSend, sys_.now_, src, dst,
+                msg.line, static_cast<std::uint8_t>(msg.type));
+        }
     }
 
   private:
@@ -81,7 +98,9 @@ class System::LocalTransport : public coherence::Transport
 };
 
 System::System(const SystemConfig &config)
-    : config_(config), layout_(config.num_cores, config.num_memctls)
+    : config_(config), layout_(config.num_cores, config.num_memctls),
+      flightRec_(config.flight_recorder_events),
+      profiler_(config.profile_stride)
 {
     // Derive dependent parameters.
     config_.mem.bytes_per_cycle = config_.mem_gbytes_per_sec
@@ -164,6 +183,52 @@ System::System(const SystemConfig &config)
 
     wireNetworkHandlers();
     registerStats();
+
+    // Abnormal-exit diagnostics: panics, fatal asserts and signals
+    // flush the trace ring and dump this recorder (see obs/crash.hh).
+    obs::installCrashHooks();
+    flightRec_.setDetailNamer(
+        [](obs::FlightEventKind kind,
+           std::uint8_t detail) -> const char * {
+            switch (kind) {
+              case obs::FlightEventKind::MsgSend:
+              case obs::FlightEventKind::MsgRecv:
+                return coherence::msgTypeName(
+                    static_cast<MsgType>(detail));
+              case obs::FlightEventKind::MshrAlloc:
+                return coherence::L1Cache::wantName(detail);
+              case obs::FlightEventKind::MshrFree:
+                return coherence::l1StateName(
+                    static_cast<coherence::L1State>(detail));
+              case obs::FlightEventKind::DirTxnStart:
+              case obs::FlightEventKind::DirTxnEnd:
+                return coherence::Directory::txnKindName(detail);
+            }
+            return nullptr;
+        });
+    flightRec_.setContextWriter([this](std::ostream &os) {
+        os << "\"now\":" << now_ << ",\"network\":\""
+           << netKindName(config_.network) << "\",\"cores\":[";
+        for (int n = 0; n < config_.num_cores; ++n) {
+            os << (n ? "," : "") << "{\"node\":" << n << ",\"done\":"
+               << (cores_[n]->done() ? "true" : "false")
+               << ",\"outstanding_misses\":"
+               << l1s_[n]->outstandingMisses() << "}";
+        }
+        os << "]";
+        if (meshNet_) {
+            os << ",\"mesh\":";
+            meshNet_->writeLinkStateJson(os);
+        }
+        if (fsoiNet_) {
+            os << ",\"fsoi\":";
+            fsoiNet_->writeLaneStateJson(os);
+        }
+    });
+    for (auto &l1 : l1s_)
+        l1->setFlightRecorder(&flightRec_);
+    for (auto &dir : dirs_)
+        dir->setFlightRecorder(&flightRec_);
 }
 
 System::~System() = default;
@@ -193,7 +258,14 @@ System::registerStats()
     }
     network_->registerStats(root.scope(net_scope));
 
+    // Host-side self-profile: nondeterministic wall-clock data, so it
+    // lives under its own top-level prefix that golden-stats diffs
+    // ignore (tools/stats_report skips "host." by default).
+    profiler_.registerStats(root.scope("host"));
+
     // Cross-tile aggregates (registry-side, not per-component).
+    sys.derived("cycles",
+                [this] { return static_cast<double>(now_); });
     sys.derived("instructions", [this] {
         Counter total;
         for (const auto &core : cores_)
@@ -245,6 +317,11 @@ System::memctlOf(Addr addr) const
 void
 System::routeMessage(NodeId dst, const Message &msg)
 {
+    if (flightRec_.enabled()) {
+        flightRec_.record(obs::FlightEventKind::MsgRecv, now_, dst,
+                          msg.requester, msg.line,
+                          static_cast<std::uint8_t>(msg.type));
+    }
     if (static_cast<int>(dst) >= config_.num_cores) {
         memctls_[dst - config_.num_cores]->handleMessage(msg);
         return;
@@ -354,20 +431,30 @@ System::quiescent() const
 RunResult
 System::run()
 {
-    std::uint64_t last_progress_instr = 0;
-    Cycle last_progress_cycle = 0;
+    obs::Watchdog watchdog({config_.progress_stall_limit});
     bool completed = false;
     const Cycle completion_mask = config_.completion_check_stride - 1;
     const Cycle progress_mask = config_.progress_check_stride - 1;
 
     for (now_ = 0; now_ < config_.max_cycles; ++now_) {
+        // Self-profiling brackets each phase with a clock read on
+        // sampled cycles only; `prof` is hoisted so unsampled cycles
+        // pay a single branch per phase.
+        const bool prof = profiler_.due(now_);
+        if (prof)
+            profiler_.beginCycle();
+
         network_->tick(now_);
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Network);
 
         while (!localQueue_.empty() && localQueue_.front().due <= now_) {
             LocalMsg msg = std::move(localQueue_.front());
             localQueue_.pop_front();
             routeMessage(msg.dst, msg.msg);
         }
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::LocalRoute);
 
         // Active-set scheduling: a component whose tick would be a
         // no-op only gets its clock refreshed. Each branch is exact —
@@ -380,24 +467,32 @@ System::run()
             else
                 mem->syncClock(now_);
         }
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Memory);
         for (auto &dir : dirs_) {
             if (dir->active())
                 dir->tick(now_);
             else
                 dir->syncClock(now_);
         }
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Directory);
         for (auto &l1 : l1s_) {
             if (l1->active())
                 l1->tick(now_);
             else
                 l1->syncClock(now_);
         }
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::L1);
         for (auto &core : cores_) {
             if (!core->done())
                 core->tick(now_);
             else
                 core->syncClock(now_);
         }
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Core);
 
         if (sampler_ && now_ >= sampler_->nextDue())
             sampler_->sample(now_);
@@ -417,36 +512,17 @@ System::run()
             std::uint64_t instr = 0;
             for (const auto &core : cores_)
                 instr += core->stats().instructions.value();
-            if (instr != last_progress_instr) {
-                last_progress_instr = instr;
-                last_progress_cycle = now_;
-            } else if (now_ - last_progress_cycle
-                       > config_.progress_stall_limit) {
-                std::size_t misses = 0, txns = 0;
-                for (const auto &core : cores_) {
-                    if (!core->done())
-                        core->debugDump();
-                }
-                for (const auto &l1 : l1s_) {
-                    if (!l1->quiescent())
-                        l1->debugDump();
-                    misses += l1->outstandingMisses();
-                }
-                for (const auto &dir : dirs_) {
-                    if (!dir->quiescent())
-                        dir->debugDump();
-                    txns += dir->quiescent() ? 0 : 1;
-                }
-                if (meshNet_ && !meshNet_->idle())
-                    meshNet_->debugDump();
-                panic("no forward progress for %llu cycles at cycle %llu "
-                      "(%zu outstanding misses, %zu busy directories, "
-                      "network %s)",
-                      static_cast<unsigned long long>(
-                          now_ - last_progress_cycle),
-                      static_cast<unsigned long long>(now_), misses, txns,
-                      network_->idle() ? "idle" : "busy");
-            }
+            // The network feed counts deliveries *and* attempts, so a
+            // retry/NACK storm that never delivers still reads as
+            // network motion — that is exactly the livelock signature.
+            const auto &net = network_->stats();
+            const std::uint64_t net_events = net.deliveredTotal()
+                + net.attempts(PacketClass::Meta)
+                + net.attempts(PacketClass::Data);
+            const obs::Watchdog::Report report =
+                watchdog.check(now_, instr, net_events);
+            if (report.verdict != obs::WatchdogVerdict::Ok)
+                onWatchdogTrip(report);
         }
     }
 
@@ -456,6 +532,53 @@ System::run()
     if (sampler_)
         sampler_->finish(now_);
     return collectResult(now_, completed);
+}
+
+/**
+ * Watchdog trip: dump human-readable component state to stderr, write
+ * the flight-recorder post-mortem (stuck transactions, recent protocol
+ * events, per-link network state), then abort with a verdict that
+ * distinguishes deadlock (network quiet too) from livelock (packets
+ * still moving while no instruction retires).
+ */
+void
+System::onWatchdogTrip(const obs::Watchdog::Report &report)
+{
+    std::size_t misses = 0, txns = 0;
+    for (const auto &core : cores_) {
+        if (!core->done())
+            core->debugDump();
+    }
+    for (const auto &l1 : l1s_) {
+        if (!l1->quiescent())
+            l1->debugDump();
+        misses += l1->outstandingMisses();
+    }
+    for (const auto &dir : dirs_) {
+        if (!dir->quiescent())
+            dir->debugDump();
+        txns += dir->quiescent() ? 0 : 1;
+    }
+    if (meshNet_ && !meshNet_->idle())
+        meshNet_->debugDump();
+
+    char reason[64];
+    std::snprintf(reason, sizeof(reason), "watchdog:%s",
+                  obs::watchdogVerdictName(report.verdict));
+    // Marks the dump done, so the fatal hook installed by
+    // installCrashHooks() does not write it a second time from panic.
+    obs::crashDump(reason);
+
+    panic("%s: no instruction retired for %llu cycles at cycle %llu "
+          "(network %s for %llu cycles; %zu outstanding misses, "
+          "%zu busy directories)",
+          obs::watchdogVerdictName(report.verdict),
+          static_cast<unsigned long long>(report.stalled_for),
+          static_cast<unsigned long long>(now_),
+          report.verdict == obs::WatchdogVerdict::Livelock ? "active"
+                                                           : "quiet",
+          static_cast<unsigned long long>(report.net_quiet_for), misses,
+          txns);
 }
 
 RunResult

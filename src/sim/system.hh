@@ -29,7 +29,10 @@
 #include "memory/memory_controller.hh"
 #include "noc/ideal_network.hh"
 #include "noc/mesh_network.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
+#include "obs/watchdog.hh"
 #include "obs/stat_registry.hh"
 #include "sim/energy_model.hh"
 #include "workload/apps.hh"
@@ -82,6 +85,18 @@ struct SystemConfig
     Cycle completion_check_stride = 32;
     Cycle progress_check_stride = 16384;
     Cycle progress_stall_limit = 2'000'000;
+
+    /**
+     * Observability knobs. The flight recorder keeps the most recent
+     * protocol events for post-mortem dumps (0 = off); the profiler
+     * samples host wall time per tick phase every profile_stride
+     * cycles (power of two, 0 = off; 256 keeps the clock reads under
+     * half a percent of run time even where clock_gettime is a
+     * syscall). Neither touches simulation state, so results are
+     * bit-identical at any setting.
+     */
+    std::size_t flight_recorder_events = 1024;
+    Cycle profile_stride = 256;
 
     /** Paper defaults for a given scale (16 or 64 cores). */
     static SystemConfig paperConfig(int cores, NetKind kind);
@@ -180,6 +195,14 @@ class System
     void writeStatsCsv(std::ostream &os) const
     { obs::writeCsv(registry_, os); }
 
+    /** Post-mortem ring of recent protocol events + in-flight misses. */
+    obs::FlightRecorder &flightRecorder() { return flightRec_; }
+    const obs::FlightRecorder &flightRecorder() const
+    { return flightRec_; }
+
+    /** Host-time attribution across the tick phases. */
+    const obs::PhaseProfiler &profiler() const { return profiler_; }
+
   private:
     class LocalTransport;
     friend class LocalTransport;
@@ -192,6 +215,7 @@ class System
     };
 
     void routeMessage(NodeId dst, const coherence::Message &msg);
+    [[noreturn]] void onWatchdogTrip(const obs::Watchdog::Report &report);
     void wireNetworkHandlers();
     void registerStats();
     bool quiescent() const;
@@ -220,6 +244,8 @@ class System
 
     obs::StatRegistry registry_;
     std::unique_ptr<obs::IntervalSampler> sampler_;
+    obs::FlightRecorder flightRec_;
+    obs::PhaseProfiler profiler_;
 };
 
 } // namespace fsoi::sim

@@ -1,187 +1,31 @@
 /**
  * @file
- * Tiny dependency-free JSON validator used by the observability smoke
- * test: parses each input file as either one JSON document or, with
- * --lines, as JSON-lines (one document per non-empty line). Exits
- * non-zero with a message on the first malformed document, so ctest
- * can assert that the files the simulator emits actually parse.
+ * JSON validator CLI used by the observability smoke test: parses each
+ * input file as either one JSON document or, with --lines, as
+ * JSON-lines (one document per non-empty line). Exits non-zero with a
+ * message on the first malformed document, so ctest can assert that
+ * the files the simulator emits actually parse.
  *
  *   check_json [--lines] FILE...
+ *
+ * The parser itself lives in json_validator.hh so unit tests can
+ * validate generated documents in-process.
  */
 
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "json_validator.hh"
+
 namespace {
-
-struct Parser
-{
-    const std::string &s;
-    std::size_t pos = 0;
-
-    explicit Parser(const std::string &text) : s(text) {}
-
-    [[nodiscard]] bool
-    fail(const char *what)
-    {
-        std::fprintf(stderr, "JSON error at offset %zu: %s\n", pos, what);
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos < s.size()
-               && std::isspace(static_cast<unsigned char>(s[pos])))
-            ++pos;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::strlen(word);
-        if (s.compare(pos, n, word) != 0)
-            return fail("bad literal");
-        pos += n;
-        return true;
-    }
-
-    bool
-    string()
-    {
-        if (s[pos] != '"')
-            return fail("expected string");
-        ++pos;
-        while (pos < s.size() && s[pos] != '"') {
-            if (s[pos] == '\\') {
-                ++pos;
-                if (pos >= s.size())
-                    return fail("truncated escape");
-                if (s[pos] == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        ++pos;
-                        if (pos >= s.size()
-                            || !std::isxdigit(
-                                   static_cast<unsigned char>(s[pos])))
-                            return fail("bad \\u escape");
-                    }
-                }
-            }
-            ++pos;
-        }
-        if (pos >= s.size())
-            return fail("unterminated string");
-        ++pos;
-        return true;
-    }
-
-    bool
-    number()
-    {
-        const std::size_t start = pos;
-        if (pos < s.size() && s[pos] == '-')
-            ++pos;
-        while (pos < s.size()
-               && (std::isdigit(static_cast<unsigned char>(s[pos]))
-                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
-                   || s[pos] == '+' || s[pos] == '-'))
-            ++pos;
-        if (pos == start)
-            return fail("expected number");
-        return true;
-    }
-
-    bool
-    value()
-    {
-        skipWs();
-        if (pos >= s.size())
-            return fail("unexpected end of input");
-        switch (s[pos]) {
-          case '{': {
-            ++pos;
-            skipWs();
-            if (pos < s.size() && s[pos] == '}') {
-                ++pos;
-                return true;
-            }
-            for (;;) {
-                skipWs();
-                if (!string())
-                    return false;
-                skipWs();
-                if (pos >= s.size() || s[pos] != ':')
-                    return fail("expected ':'");
-                ++pos;
-                if (!value())
-                    return false;
-                skipWs();
-                if (pos < s.size() && s[pos] == ',') {
-                    ++pos;
-                    continue;
-                }
-                if (pos < s.size() && s[pos] == '}') {
-                    ++pos;
-                    return true;
-                }
-                return fail("expected ',' or '}'");
-            }
-          }
-          case '[': {
-            ++pos;
-            skipWs();
-            if (pos < s.size() && s[pos] == ']') {
-                ++pos;
-                return true;
-            }
-            for (;;) {
-                if (!value())
-                    return false;
-                skipWs();
-                if (pos < s.size() && s[pos] == ',') {
-                    ++pos;
-                    continue;
-                }
-                if (pos < s.size() && s[pos] == ']') {
-                    ++pos;
-                    return true;
-                }
-                return fail("expected ',' or ']'");
-            }
-          }
-          case '"':
-            return string();
-          case 't':
-            return literal("true");
-          case 'f':
-            return literal("false");
-          case 'n':
-            return literal("null");
-          default:
-            return number();
-        }
-    }
-
-    bool
-    document()
-    {
-        if (!value())
-            return false;
-        skipWs();
-        if (pos != s.size())
-            return fail("trailing content");
-        return true;
-    }
-};
 
 bool
 checkDocument(const std::string &text, const char *what)
 {
-    Parser p(text);
+    fsoi::testsupport::JsonParser p(text, /*report=*/true);
     if (!p.document()) {
         std::fprintf(stderr, "  while parsing %s\n", what);
         return false;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tiny dependency-free JSON validity checker shared by the test suite:
+ * the check_json CLI uses it to vet the files the simulator emits, and
+ * unit tests use it to assert that generated documents (flight-recorder
+ * dumps, link-state snapshots) actually parse.
+ *
+ * Validation only -- no DOM is built. For reading values back, see
+ * tools/stats_report.cc's flattening parser.
+ */
+
+#ifndef FSOI_TESTS_JSON_VALIDATOR_HH
+#define FSOI_TESTS_JSON_VALIDATOR_HH
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace fsoi::testsupport {
+
+struct JsonParser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+    /** When true, errors are reported on stderr (CLI use). */
+    bool verbose = false;
+
+    explicit JsonParser(const std::string &text, bool report = false)
+        : s(text), verbose(report)
+    {
+    }
+
+    [[nodiscard]] bool
+    fail(const char *what)
+    {
+        if (verbose)
+            std::fprintf(stderr, "JSON error at offset %zu: %s\n", pos,
+                         what);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (s[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("truncated escape");
+                if (s[pos] == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size()
+                            || !std::isxdigit(
+                                   static_cast<unsigned char>(s[pos])))
+                            return fail("bad \\u escape");
+                    }
+                }
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return fail("unterminated string");
+        ++pos;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
+                   || s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected number");
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{': {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos >= s.size() || s[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                if (!value())
+                    return false;
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                if (!value())
+                    return false;
+                skipWs();
+                if (pos < s.size() && s[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < s.size() && s[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    document()
+    {
+        if (!value())
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing content");
+        return true;
+    }
+};
+
+/** One complete JSON document and nothing else? */
+inline bool
+jsonValid(const std::string &text)
+{
+    JsonParser p(text);
+    return p.document();
+}
+
+} // namespace fsoi::testsupport
+
+#endif // FSOI_TESTS_JSON_VALIDATOR_HH

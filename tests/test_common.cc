@@ -127,6 +127,46 @@ TEST(Histogram, Quantile)
     EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    // One sample per bin: percentile resolves to sub-bin positions
+    // where quantile can only report bucket boundaries.
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(static_cast<double>(i) * 10.0 + 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.05), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+
+    // All mass in one bucket: the answer moves with p inside it.
+    Histogram one(10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        one.add(5.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.25), 2.5);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 5.0);
+}
+
+TEST(Histogram, PercentileOverflowAndUnderflow)
+{
+    // Overflow mass interpolates toward the observed maximum rather
+    // than reporting the (unbounded) bucket edge.
+    Histogram h(10.0, 2); // [0,10) [10,20) + overflow
+    h.add(5.0);
+    h.add(15.0);
+    h.add(100.0);
+    h.add(200.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 200.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 110.0); // 20 + 0.5 * (200-20)
+
+    Histogram neg(1.0, 4);
+    neg.add(-3.0);
+    neg.add(-1.0);
+    EXPECT_EQ(neg.percentile(0.5), 0.0); // underflow mass reports 0
+
+    Histogram empty(1.0, 4);
+    EXPECT_EQ(empty.percentile(0.5), 0.0);
+}
+
 TEST(Histogram, QuantileEdgeCases)
 {
     Histogram empty(1.0, 10);

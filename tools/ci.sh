@@ -27,6 +27,33 @@ cmake --build "$build" -j "$(nproc 2>/dev/null || echo 2)"
 echo "== test =="
 ctest --test-dir "$build" --output-on-failure
 
+echo "== golden stats gate =="
+# Re-run the instrumented 16-core quickstart config and require its
+# stats JSON to match the committed golden file exactly (host.* wall
+# -clock stats are excluded by stats_report's default ignore list).
+# Any diff is a simulation-result or stat-name change; if intentional,
+# regenerate with
+#
+#   rm -f tools/golden_stats_16core.json
+#   build/examples/quickstart fft 16 \
+#       --stats-json=tools/golden_stats_16core.json
+#
+# and commit the result.
+rm -f "$build/ci_stats_16core.json"
+"$build/examples/quickstart" fft 16 \
+    --stats-json="$build/ci_stats_16core.json" > /dev/null
+"$build/tools/stats_report" --diff "$repo/tools/golden_stats_16core.json" \
+    "$build/ci_stats_16core.json"
+
+echo "== telemetry overhead gate =="
+# The observability layer (flight recorder + self-profiler + link
+# telemetry) must cost < 3% cycles/sec against the same config with
+# the tunable parts disabled, and must not change simulated cycles.
+# Full scale keeps each timed run long enough to ride out scheduler
+# jitter on small CI hosts; the bench itself re-measures (--rounds)
+# when a round catches a throttling spike.
+"$build/bench/obs_overhead" --max=3 --reps=5 1.0
+
 echo "== perf gate =="
 # Warmup pass (discarded): absorbs post-build CPU-quota throttling and
 # cold caches so the gated measurement reflects steady state. The

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Offline viewer for --stats-json output: renders a human-readable
+ * summary (headline scalars, latency percentiles, a mesh link-traffic
+ * heatmap, FSOI channel utilization) and diffs two stats files for the
+ * golden-stats CI gate.
+ *
+ * Usage:
+ *   stats_report FILE                      summary + heatmaps
+ *   stats_report --diff A B [options]      compare two stats files
+ *
+ * Options (diff mode):
+ *   --tolerance=F    relative tolerance per value (default 0 = exact)
+ *   --ignore=PREFIX  skip keys with this prefix (repeatable)
+ *   --include-host   do not auto-ignore the "host." wall-clock stats
+ *
+ * The parser flattens the stats JSON tree into dotted scalar names
+ * (arrays become name.0, name.1, ...), so it is robust to the exact
+ * nesting the registry writer produces.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON reader, flattening numbers to dotted keys ---------
+
+struct FlatStats
+{
+    std::map<std::string, double> values;
+};
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    FlatStats &out;
+    bool ok = true;
+
+    void
+    fail(const char *what)
+    {
+        if (ok)
+            std::fprintf(stderr, "parse error at byte %zu: %s\n", pos,
+                         what);
+        ok = false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &s)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        s.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                char e = text[pos++];
+                switch (e) {
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'u':
+                    pos += std::min<std::size_t>(4, text.size() - pos);
+                    s += '?';
+                    break;
+                  default: s += e; break;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (pos >= text.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos; // closing quote
+        return true;
+    }
+
+    void
+    parseValue(const std::string &key)
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return;
+        }
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            if (consume('}'))
+                return;
+            do {
+                std::string name;
+                if (!parseString(name)) {
+                    fail("expected object key");
+                    return;
+                }
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    return;
+                }
+                parseValue(key.empty() ? name : key + "." + name);
+                if (!ok)
+                    return;
+            } while (consume(','));
+            if (!consume('}'))
+                fail("expected '}'");
+        } else if (c == '[') {
+            ++pos;
+            if (consume(']'))
+                return;
+            std::size_t index = 0;
+            do {
+                parseValue(key + "." + std::to_string(index++));
+                if (!ok)
+                    return;
+            } while (consume(','));
+            if (!consume(']'))
+                fail("expected ']'");
+        } else if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                fail("bad string");
+        } else if (std::strncmp(text.c_str() + pos, "true", 4) == 0) {
+            pos += 4;
+            out.values[key] = 1.0;
+        } else if (std::strncmp(text.c_str() + pos, "false", 5) == 0) {
+            pos += 5;
+            out.values[key] = 0.0;
+        } else if (std::strncmp(text.c_str() + pos, "null", 4) == 0) {
+            pos += 4;
+        } else {
+            char *end = nullptr;
+            const double v = std::strtod(text.c_str() + pos, &end);
+            if (end == text.c_str() + pos) {
+                fail("expected a value");
+                return;
+            }
+            pos = static_cast<std::size_t>(end - text.c_str());
+            out.values[key] = v;
+        }
+    }
+};
+
+bool
+loadStats(const std::string &path, FlatStats &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "stats_report: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+    // Stats files can hold several concatenated documents (the writers
+    // append: one doc per instrumented run). Report the last one --
+    // the most recent run's final state.
+    Parser p{text, 0, out};
+    int docs = 0;
+    for (;;) {
+        p.skipWs();
+        if (p.pos >= text.size())
+            break;
+        out.values.clear();
+        p.parseValue("");
+        if (!p.ok)
+            return false;
+        ++docs;
+    }
+    if (docs == 0) {
+        std::fprintf(stderr, "stats_report: %s holds no JSON document\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+double
+lookup(const FlatStats &s, const std::string &key, double fallback)
+{
+    const auto it = s.values.find(key);
+    return it == s.values.end() ? fallback : it->second;
+}
+
+// --- summary rendering ----------------------------------------------
+
+/** Shade ramp for the link heatmap, light to heavy. */
+const char *const kShades[] = {" ", ".", ":", "-", "=", "+", "*",
+                               "#", "%", "@"};
+
+const char *
+shade(double value, double max)
+{
+    if (max <= 0.0 || value <= 0.0)
+        return kShades[0];
+    const double frac = value / max;
+    const int idx = std::min(9, 1 + static_cast<int>(frac * 8.999));
+    return kShades[idx];
+}
+
+/** Collect mesh.links.rN.{east,...} into per-router totals. */
+bool
+meshLinkTotals(const FlatStats &s, std::vector<double> &totals)
+{
+    const std::string prefix = "mesh.links.r";
+    bool any = false;
+    for (const auto &[key, value] : s.values) {
+        if (key.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        char *end = nullptr;
+        const long id = std::strtol(key.c_str() + prefix.size(), &end,
+                                    10);
+        if (end == key.c_str() + prefix.size() || *end != '.')
+            continue;
+        if (static_cast<std::size_t>(id) >= totals.size())
+            totals.resize(static_cast<std::size_t>(id) + 1, 0.0);
+        totals[static_cast<std::size_t>(id)] += value;
+        any = true;
+    }
+    return any;
+}
+
+void
+printMeshHeatmap(const FlatStats &s)
+{
+    std::vector<double> totals;
+    if (!meshLinkTotals(s, totals))
+        return;
+    int side = 1;
+    while (side * side < static_cast<int>(totals.size()))
+        ++side;
+    const double max = *std::max_element(totals.begin(), totals.end());
+    std::printf("\nmesh link traffic (flits per router, max %.0f)\n",
+                max);
+    for (int y = 0; y < side; ++y) {
+        std::printf("  ");
+        for (int x = 0; x < side; ++x) {
+            const std::size_t id =
+                static_cast<std::size_t>(y * side + x);
+            const double v = id < totals.size() ? totals[id] : 0.0;
+            std::printf("%s%s", shade(v, max), shade(v, max));
+        }
+        std::printf("   ");
+        for (int x = 0; x < side; ++x) {
+            const std::size_t id =
+                static_cast<std::size_t>(y * side + x);
+            const double v = id < totals.size() ? totals[id] : 0.0;
+            std::printf(" %7.0f", v);
+        }
+        std::printf("\n");
+    }
+}
+
+void
+printFsoiChannels(const FlatStats &s)
+{
+    const std::string prefix = "fsoi.channels.n";
+    std::vector<double> util;
+    for (const auto &[key, value] : s.values) {
+        if (key.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        char *end = nullptr;
+        const long id = std::strtol(key.c_str() + prefix.size(), &end,
+                                    10);
+        if (end == key.c_str() + prefix.size()
+            || std::strcmp(end, ".util") != 0)
+            continue;
+        if (static_cast<std::size_t>(id) >= util.size())
+            util.resize(static_cast<std::size_t>(id) + 1, 0.0);
+        util[static_cast<std::size_t>(id)] = value;
+    }
+    if (util.empty())
+        return;
+    std::printf("\nFSOI channel utilization\n");
+    for (std::size_t n = 0; n < util.size(); ++n) {
+        const int bars =
+            static_cast<int>(std::min(1.0, util[n]) * 40.0 + 0.5);
+        std::printf("  n%-3zu %6.2f%% |", n, util[n] * 100.0);
+        for (int b = 0; b < 40; ++b)
+            std::putchar(b < bars ? '#' : ' ');
+        std::printf("|\n");
+    }
+}
+
+void
+printLatency(const FlatStats &s, const char *net)
+{
+    const std::string base = std::string(net) + ".latency.";
+    if (!s.values.count(base + "p50"))
+        return;
+    std::printf("  %s latency: p50 %.1f  p99 %.1f  p999 %.1f cycles\n",
+                net, lookup(s, base + "p50", 0.0),
+                lookup(s, base + "p99", 0.0),
+                lookup(s, base + "p999", 0.0));
+}
+
+int
+summarize(const std::string &path)
+{
+    FlatStats s;
+    if (!loadStats(path, s))
+        return 1;
+    std::printf("%s: %zu scalar values\n", path.c_str(),
+                s.values.size());
+    const double cycles = lookup(s, "system.cycles", 0.0);
+    const double instr = lookup(s, "system.instructions", 0.0);
+    if (cycles > 0.0)
+        std::printf("  cycles %.0f  instructions %.0f  ipc %.3f"
+                    "  l1 miss rate %.4f\n",
+                    cycles, instr, instr / cycles,
+                    lookup(s, "system.l1.miss_rate", 0.0));
+    for (const char *net : {"mesh", "fsoi", "net"})
+        printLatency(s, net);
+    printMeshHeatmap(s);
+    printFsoiChannels(s);
+    return 0;
+}
+
+// --- diff -----------------------------------------------------------
+
+bool
+ignored(const std::string &key,
+        const std::vector<std::string> &prefixes)
+{
+    for (const auto &p : prefixes) {
+        if (key.compare(0, p.size(), p) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+numbersMatch(double a, double b, double tolerance)
+{
+    if (a == b)
+        return true;
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= tolerance * scale;
+}
+
+int
+diff(const std::string &pathA, const std::string &pathB,
+     double tolerance, const std::vector<std::string> &ignore)
+{
+    FlatStats a, b;
+    if (!loadStats(pathA, a) || !loadStats(pathB, b))
+        return 1;
+
+    int mismatches = 0;
+    const int kMaxPrinted = 40;
+    auto report = [&](const std::string &line) {
+        if (mismatches < kMaxPrinted)
+            std::printf("  %s\n", line.c_str());
+        else if (mismatches == kMaxPrinted)
+            std::printf("  ... further mismatches suppressed\n");
+        ++mismatches;
+    };
+
+    char buf[256];
+    for (const auto &[key, va] : a.values) {
+        if (ignored(key, ignore))
+            continue;
+        const auto it = b.values.find(key);
+        if (it == b.values.end()) {
+            std::snprintf(buf, sizeof(buf), "only in A: %s = %g",
+                          key.c_str(), va);
+            report(buf);
+        } else if (!numbersMatch(va, it->second, tolerance)) {
+            std::snprintf(buf, sizeof(buf),
+                          "differs: %s  A=%.12g  B=%.12g", key.c_str(),
+                          va, it->second);
+            report(buf);
+        }
+    }
+    for (const auto &[key, vb] : b.values) {
+        if (ignored(key, ignore))
+            continue;
+        if (!a.values.count(key)) {
+            std::snprintf(buf, sizeof(buf), "only in B: %s = %g",
+                          key.c_str(), vb);
+            report(buf);
+        }
+    }
+
+    if (mismatches == 0) {
+        std::printf("stats match: %s vs %s (%zu keys, tolerance %g)\n",
+                    pathA.c_str(), pathB.c_str(), a.values.size(),
+                    tolerance);
+        return 0;
+    }
+    std::printf("stats differ: %d mismatching keys (tolerance %g)\n",
+                mismatches, tolerance);
+    return 1;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: stats_report FILE\n"
+        "       stats_report --diff A B [--tolerance=F]"
+        " [--ignore=PREFIX] [--include-host]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool diffMode = false;
+    bool includeHost = false;
+    double tolerance = 0.0;
+    std::vector<std::string> ignore;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--diff") {
+            diffMode = true;
+        } else if (arg.rfind("--tolerance=", 0) == 0) {
+            tolerance = std::atof(arg.c_str() + 12);
+        } else if (arg.rfind("--ignore=", 0) == 0) {
+            ignore.push_back(arg.substr(9));
+        } else if (arg == "--include-host") {
+            includeHost = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    // Wall-clock self-profile stats are nondeterministic by nature;
+    // keep them out of golden comparisons unless explicitly asked.
+    if (!includeHost)
+        ignore.push_back("host.");
+
+    if (diffMode) {
+        if (files.size() != 2) {
+            usage();
+            return 2;
+        }
+        return diff(files[0], files[1], tolerance, ignore);
+    }
+    if (files.size() != 1) {
+        usage();
+        return 2;
+    }
+    return summarize(files[0]);
+}
