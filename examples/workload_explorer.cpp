@@ -56,6 +56,8 @@ main(int argc, char **argv)
     int count = 0;
     for (const auto &app : workload::paperApps()) {
         sim::SystemConfig cfg = sim::SystemConfig::paperConfig(16, kind);
+        if (obs_opts.seed != 0)
+            cfg.seed = obs_opts.seed;
         sim::System system(cfg);
         system.loadApp(app.scaled(scale));
         sim::StatsIo stats(system, obs_opts);

@@ -115,6 +115,19 @@ simulateBackoff(const BackoffParams &params, std::uint64_t episodes,
     return res;
 }
 
+Cycle
+boundedResolutionBudget(const BackoffParams &params, int max_retx)
+{
+    FSOI_ASSERT(max_retx >= 1);
+    const std::uint64_t conf_slots = (params.confirmation_delay
+        + params.slot_cycles - 1) / params.slot_cycles;
+    std::uint64_t slots = 0;
+    for (int r = 1; r <= max_retx; ++r)
+        slots += conf_slots + windowSlots(params, r);
+    return static_cast<Cycle>(slots)
+        * static_cast<Cycle>(params.slot_cycles);
+}
+
 double
 approxResolutionDelay(const BackoffParams &params)
 {

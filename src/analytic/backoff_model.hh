@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "common/types.hh"
+
 namespace fsoi::analytic {
 
 /** Parameters of the backoff game. */
@@ -57,6 +59,16 @@ BackoffResult simulateBackoff(const BackoffParams &params,
  * Monte Carlo at every (W, B) grid point would be slow.
  */
 double approxResolutionDelay(const BackoffParams &params);
+
+/**
+ * Worst-case cycles one packet can spend in @p max_retx bounded-backoff
+ * retransmission rounds: each round waits out the confirmation timeout
+ * plus the maximal draw from its retry window, with window growth
+ * capped at @p max_retx (matching the fault layer's bounded backoff).
+ * The watchdog's retry grace period scales from this per-packet horizon
+ * when fault injection is active.
+ */
+Cycle boundedResolutionBudget(const BackoffParams &params, int max_retx);
 
 } // namespace fsoi::analytic
 

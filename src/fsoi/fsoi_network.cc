@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "fault/fault_model.hh"
 
 namespace fsoi::fsoi {
 
@@ -43,9 +44,10 @@ collisionCategoryName(CollisionCategory cat)
 }
 
 FsoiNetwork::FsoiNetwork(const noc::MeshLayout &layout,
-                         const FsoiConfig &config)
+                         const FsoiConfig &config,
+                         fault::FaultInjector *fault)
     : Network(layout.numEndpoints()), layout_(layout), config_(config),
-      rng_(config.seed),
+      rng_(config.seed), fault_(fault),
       lanes_(static_cast<std::size_t>(layout.numEndpoints()) * 2),
       confirmHandlers_(layout.numEndpoints()),
       controlBitHandlers_(layout.numEndpoints())
@@ -360,9 +362,11 @@ FsoiNetwork::processConfirmations(Cycle now)
             continue;
         }
         // Missing confirmation: the sender now knows the packet
-        // collided and schedules a retransmission slot.
+        // collided (or was eaten by a fault) and schedules a
+        // retransmission slot.
         Packet pkt = std::move(evt.pkt);
         pkt.retries += 1;
+        retxStats().recordRetx();
         const int slot_len = slotCycles(pkt.cls);
         Cycle retry_at;
         if (evt.hinted_winner) {
@@ -373,7 +377,19 @@ FsoiNetwork::processConfirmations(Cycle now)
                 && pkt.cls == PacketClass::Data
                 ? alignUp(now + 1, slot_len) + slot_len // skip hint slot
                 : alignUp(now + 1, slot_len);
-            const int window = windowSlots(pkt.retries);
+            // Under fault injection the backoff window stops growing at
+            // the retry budget: a persistently failing channel keeps
+            // probing at a bounded rate instead of backing off forever,
+            // so the blacklist trips in bounded time.
+            int effective_retry = pkt.retries;
+            if (fault_) {
+                const int budget = fault_->config().max_retx;
+                if (pkt.retries > budget) {
+                    fault_->countRetxExhausted();
+                    effective_retry = budget;
+                }
+            }
+            const int window = windowSlots(effective_retry);
             const int draw =
                 static_cast<int>(rng_.nextRange(1, window));
             retry_at = base + static_cast<Cycle>(draw - 1) * slot_len;
@@ -434,9 +450,40 @@ FsoiNetwork::resolveSlot(PacketClass cls, Cycle now)
     for (auto &[key, txs] : groups) {
         (void)key;
         if (txs.size() == 1) {
+            Packet &pkt = txs[0]->pkt;
+            if (fault_) {
+                const int cls_idx = static_cast<int>(cls);
+                const int rx = txs[0]->rx;
+                const bool dead = fault_->rxDead(pkt.dst, cls_idx, rx);
+                if (dead || fault_->corrupts(cls_idx)) {
+                    // Dead photodetector (no light detected) or a
+                    // CRC-flagged corrupted reception: the receiver
+                    // stays silent, so the sender sees a missing
+                    // confirmation -- indistinguishable from a
+                    // collision -- and retransmits with backoff.
+                    if (dead) {
+                        fault_->countDeadChannelLoss();
+                        retxStats().recordDeadChannelLoss();
+                    } else {
+                        retxStats().recordCrcDrop();
+                    }
+                    fault_->noteChannelFailure(pkt.dst, cls_idx, rx);
+                    FSOI_TRACE_POINT(TraceCat::Fsoi, 1, "fault_drop",
+                                     now, pkt.dst, {"id", pkt.id},
+                                     {"src", pkt.src},
+                                     {"rx",
+                                      static_cast<std::uint64_t>(rx)},
+                                     {"dead",
+                                      static_cast<std::uint64_t>(dead)});
+                    confirmations_.push_back(ConfirmEvent{
+                        now + config_.confirmation_delay, false, false,
+                        std::move(pkt)});
+                    continue;
+                }
+                fault_->noteChannelSuccess(pkt.dst, cls_idx, rx);
+            }
             // Clean reception: deliver now, confirm the sender at
             // now + confirmation_delay.
-            Packet &pkt = txs[0]->pkt;
             Packet confirm_copy = pkt; // cheap: payload is shared_ptr
             if (pkt.cls == PacketClass::Data && pkt.retries > 0)
                 dataResolution_.add(
@@ -495,6 +542,11 @@ FsoiNetwork::startSlot(PacketClass cls, Cycle now)
          node < static_cast<NodeId>(numEndpoints()); ++node) {
         TxLane &ln = lane(node, cls);
 
+        // A dead VCSEL array never lights up: its packets stay queued
+        // and the watchdog diagnoses the wedge from the fault schedule.
+        if (fault_ && fault_->txDead(node, static_cast<int>(cls)))
+            continue;
+
         // Pick the packet to transmit: pending retries first (earliest
         // retry_at), then the head of the outgoing queue.
         Packet pkt;
@@ -548,7 +600,11 @@ FsoiNetwork::startSlot(PacketClass cls, Cycle now)
             static_cast<std::uint64_t>(slot_len) * vcsels;
         activity_.bits_transmitted += noc::packetBits(cls);
 
-        const int rx = static_cast<int>(node) % config_.receivers_per_lane;
+        // Static receiver partition (sender id mod R); with faults the
+        // injector steers traffic off blacklisted channels.
+        const int rx = fault_
+            ? fault_->redirectRx(node, pkt.dst, static_cast<int>(cls))
+            : static_cast<int>(node) % config_.receivers_per_lane;
         inflight_[static_cast<int>(cls)].push_back(
             Transmission{std::move(pkt), rx});
     }

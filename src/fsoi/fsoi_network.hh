@@ -48,6 +48,10 @@
 #include "noc/network.hh"
 #include "noc/topology.hh"
 
+namespace fsoi::fault {
+class FaultInjector;
+} // namespace fsoi::fault
+
 namespace fsoi::fsoi {
 
 using noc::Packet;
@@ -113,7 +117,16 @@ class FsoiNetwork : public noc::Network
     using ControlBitHandler =
         std::function<void(NodeId src, std::uint64_t tag)>;
 
-    FsoiNetwork(const noc::MeshLayout &layout, const FsoiConfig &config);
+    /**
+     * @p fault, when non-null, injects the scheduled hardware faults
+     * into this datapath: dead VCSEL lanes never transmit, receptions
+     * on dead photodetector channels or with CRC-detected bit errors
+     * are dropped (the sender sees a missing confirmation, exactly as
+     * on a collision, and retransmits with bounded backoff), and
+     * blacklisted receiver channels steer traffic to survivors.
+     */
+    FsoiNetwork(const noc::MeshLayout &layout, const FsoiConfig &config,
+                fault::FaultInjector *fault = nullptr);
 
     bool send(Packet &&pkt) override;
     bool canAccept(NodeId src, PacketClass cls) const override;
@@ -243,6 +256,7 @@ class FsoiNetwork : public noc::Network
     FsoiConfig config_;
     FsoiActivity activity_;
     Rng rng_;
+    fault::FaultInjector *fault_; //!< non-owning; null = healthy system
 
     std::vector<TxLane> lanes_;                 // [endpoint][class]
     std::vector<Transmission> inflight_[2];     // per class, current slot

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "fault/fault_model.hh"
 
 #include <cstdio>
 
@@ -111,8 +112,10 @@ struct MeshNetwork::Router
     }
 };
 
-MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config)
+MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
+                         fault::FaultInjector *fault)
     : Network(layout.numEndpoints()), layout_(layout), config_(config),
+      fault_(fault),
       linkFlits_(static_cast<std::size_t>(layout.side() * layout.side())),
       injectors_(static_cast<std::size_t>(layout.numEndpoints()))
 {
@@ -200,6 +203,82 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config)
 
     flits_[0] = computeFlitsPerPacket(PacketClass::Meta);
     flits_[1] = computeFlitsPerPacket(PacketClass::Data);
+
+    // The routing table exists only when links are actually dead; on a
+    // healthy grid the inline XY computation below stays untouched.
+    if (fault_ && fault_->anyDeadMeshLinks())
+        buildRouteTable();
+}
+
+void
+MeshNetwork::buildRouteTable()
+{
+    const int n = static_cast<int>(routers_.size());
+    nextHop_.assign(static_cast<std::size_t>(n) * n, -1);
+    // One BFS per destination over the live links (edges die with both
+    // directions, so the graph stays undirected). The neighbour scan
+    // order E, W, N, S matches XY's preference, keeping routes
+    // XY-flavoured wherever XY still works.
+    std::vector<int> dist(n);
+    std::vector<int> bfs(n);
+    for (int dst = 0; dst < n; ++dst) {
+        std::fill(dist.begin(), dist.end(), -1);
+        int head = 0, tail = 0;
+        dist[dst] = 0;
+        bfs[tail++] = dst;
+        while (head < tail) {
+            const int r = bfs[head++];
+            for (int d = 0; d < 4; ++d) {
+                const Router *peer = routers_[r]->out[d].peer;
+                if (!peer || fault_->linkDead(r, d))
+                    continue;
+                if (dist[peer->id] < 0) {
+                    dist[peer->id] = dist[r] + 1;
+                    bfs[tail++] = peer->id;
+                }
+            }
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == dst || dist[r] < 0)
+                continue;
+            for (int d = 0; d < 4; ++d) {
+                const Router *peer = routers_[r]->out[d].peer;
+                if (!peer || fault_->linkDead(r, d))
+                    continue;
+                if (dist[peer->id] == dist[r] - 1) {
+                    nextHop_[static_cast<std::size_t>(dst) * n + r] =
+                        static_cast<std::int16_t>(d);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+bool
+MeshNetwork::reachable(NodeId src, NodeId dst) const
+{
+    if (nextHop_.empty())
+        return true;
+    const int sr = layout_.routerOf(src);
+    const int dr = layout_.routerOf(dst);
+    if (sr == dr)
+        return true;
+    const std::size_t n = routers_.size();
+    return nextHop_[static_cast<std::size_t>(dr) * n + sr] >= 0;
+}
+
+bool
+MeshNetwork::fullyConnected() const
+{
+    if (nextHop_.empty())
+        return true;
+    const std::size_t n = routers_.size();
+    for (std::size_t dst = 0; dst < n; ++dst)
+        for (std::size_t r = 0; r < n; ++r)
+            if (r != dst && nextHop_[dst * n + r] < 0)
+                return false;
+    return true;
 }
 
 MeshNetwork::~MeshNetwork() = default;
@@ -269,6 +348,17 @@ MeshNetwork::send(Packet &&pkt)
 {
     if (!canAccept(pkt.src, pkt.cls))
         return false;
+    if (fault_ && !reachable(pkt.src, pkt.dst)) {
+        // No live route to the destination: the packet is dropped and
+        // counted rather than wedging a router queue. The protocol
+        // above never gets its reply; the watchdog then diagnoses the
+        // partition from the fault schedule (System also refuses to
+        // start a run on a partitioned mesh).
+        fault_->countUnroutableDrop();
+        FSOI_TRACE_POINT(TraceCat::Noc, 1, "unroutable", now(), pkt.src,
+                         {"dst", pkt.dst});
+        return true;
+    }
     stampOnSend(pkt);
     injectors_[pkt.src].lanes[static_cast<int>(pkt.cls)]
         .queue.push_back(std::move(pkt));
@@ -309,7 +399,10 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
         FSOI_TRACE_POINT(TraceCat::Noc, 3, "inject", now(), pkt->src,
                          {"id", pkt->id}, {"dst", pkt->dst},
                          {"vc", static_cast<std::uint64_t>(vc)});
-        pkt->first_tx = now();
+        // A NACKed packet re-entering the lane keeps its original
+        // first_tx so collisionLatency() spans the full retry history.
+        if (pkt->first_tx == kNoCycle)
+            pkt->first_tx = now();
         pkt->final_tx = now();
         stats().recordAttempt(pkt->cls);
         inj.active[cls_idx] = std::move(pkt);
@@ -437,6 +530,15 @@ MeshNetwork::tick(Cycle now)
                     Router &dr = *routers_[dst_router];
                     if (dr.id == router.id) {
                         vc.out_port = localPortOf(flit.pkt->dst);
+                    } else if (!nextHop_.empty()) {
+                        // Fault-aware table built around dead links.
+                        const int hop = nextHop_[
+                            static_cast<std::size_t>(dst_router)
+                            * routers_.size() + router.id];
+                        FSOI_ASSERT(hop >= 0,
+                                    "no live route r%d -> r%d",
+                                    router.id, dst_router);
+                        vc.out_port = hop;
                     } else if (router.x != layout_.xOf(dst_router)) {
                         vc.out_port = router.x < layout_.xOf(dst_router)
                             ? kEast : kWest;
@@ -519,6 +621,29 @@ MeshNetwork::tick(Cycle now)
             }
             if (oport.local) {
                 if (flit.tail) {
+                    if (fault_
+                        && fault_->corrupts(
+                            static_cast<int>(flit.pkt->cls))) {
+                        // CRC check at the ejection port failed: the
+                        // destination NACKs, and after the NACK's
+                        // round trip the source re-injects the whole
+                        // packet.
+                        retxStats().recordCrcDrop();
+                        retxStats().recordRetx();
+                        Packet pkt = std::move(*flit.pkt);
+                        pkt.retries += 1;
+                        const Cycle rtt = static_cast<Cycle>(
+                            2 * (layout_.hopDistance(pkt.src, pkt.dst)
+                                 + 1)
+                            * (config_.router_cycles
+                               + config_.link_cycles));
+                        FSOI_TRACE_POINT(TraceCat::Noc, 2, "crc_nack",
+                                         now, pkt.dst, {"id", pkt.id},
+                                         {"src", pkt.src});
+                        retxQueue_.push_back(
+                            RetxEvent{now + rtt, std::move(pkt)});
+                        continue;
+                    }
                     FSOI_TRACE_POINT(TraceCat::Noc, 3, "eject", now,
                                      flit.pkt->dst,
                                      {"id", flit.pkt->id},
@@ -548,6 +673,28 @@ MeshNetwork::tick(Cycle now)
                 activity_.buffer_writes++;
             }
         }
+    }
+
+    // Re-inject NACKed packets whose round trip has elapsed. They go
+    // back into the source's lane queue (past the capacity check: the
+    // packet is already accounted for in packetsInFlight_).
+    if (!retxQueue_.empty()) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < retxQueue_.size(); ++i) {
+            if (retxQueue_[i].due <= now) {
+                Packet &pkt = retxQueue_[i].pkt;
+                FSOI_TRACE_POINT(TraceCat::Noc, 2, "retx_inject", now,
+                                 pkt.src, {"id", pkt.id},
+                                 {"retries",
+                                  static_cast<std::uint64_t>(
+                                      pkt.retries)});
+                injectors_[pkt.src].lanes[static_cast<int>(pkt.cls)]
+                    .queue.push_back(std::move(pkt));
+            } else {
+                retxQueue_[keep++] = std::move(retxQueue_[i]);
+            }
+        }
+        retxQueue_.resize(keep);
     }
 
     tickInjection(now);
@@ -608,6 +755,7 @@ void
 MeshNetwork::writeLinkStateJson(std::ostream &os) const
 {
     os << "{\"packets_in_flight\":" << packetsInFlight_
+       << ",\"retx_queued\":" << retxQueue_.size()
        << ",\"routers\":[";
     bool sep = false;
     for (const auto &rptr : routers_) {
@@ -660,6 +808,8 @@ bool
 MeshNetwork::idle() const
 {
     if (packetsInFlight_ != 0)
+        return false;
+    if (!retxQueue_.empty())
         return false;
     for (const auto &inj : injectors_) {
         if (inj.active[0] || inj.active[1])

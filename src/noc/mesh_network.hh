@@ -22,6 +22,7 @@
 #define FSOI_NOC_MESH_NETWORK_HH
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <ostream>
@@ -30,6 +31,10 @@
 #include "common/pool.hh"
 #include "noc/network.hh"
 #include "noc/topology.hh"
+
+namespace fsoi::fault {
+class FaultInjector;
+} // namespace fsoi::fault
 
 namespace fsoi::noc {
 
@@ -65,7 +70,16 @@ struct MeshActivity
 class MeshNetwork : public Network
 {
   public:
-    MeshNetwork(const MeshLayout &layout, const MeshConfig &config);
+    /**
+     * @p fault, when non-null, injects the scheduled hardware faults:
+     * dead mesh links are routed around with per-destination BFS
+     * next-hop tables (falling back to plain XY when no link is dead),
+     * packets without any live route are dropped and counted, and
+     * CRC-detected corrupted ejections are NACKed back to the source
+     * for retransmission.
+     */
+    MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
+                fault::FaultInjector *fault = nullptr);
     ~MeshNetwork() override;
 
     bool send(Packet &&pkt) override;
@@ -87,6 +101,15 @@ class MeshNetwork : public Network
 
     /** Print buffered-flit state to stderr (watchdog diagnostics). */
     void debugDump() const;
+
+    /**
+     * True when a live route exists from @p src to @p dst. Always true
+     * without dead links (plain XY never fails on a healthy grid).
+     */
+    bool reachable(NodeId src, NodeId dst) const;
+
+    /** True when every router pair still has a live route. */
+    bool fullyConnected() const;
 
     /** Flits that crossed router @p router's link in @p direction
      *  (0=east, 1=west, 2=north, 3=south); 0 for absent edge links. */
@@ -127,14 +150,32 @@ class MeshNetwork : public Network
         std::shared_ptr<Packet> pkt;
     };
 
+    /** A NACKed packet waiting out its round trip before re-injection. */
+    struct RetxEvent
+    {
+        Cycle due;
+        Packet pkt;
+    };
+
     void tickInjection(Cycle now);
     void startPacket(Injector &inj, int cls_idx, NodeId endpoint);
     int localPortOf(NodeId endpoint) const;
     int computeFlitsPerPacket(PacketClass cls) const;
 
+    /** BFS per-destination next-hop tables avoiding dead links. */
+    void buildRouteTable();
+
     MeshLayout layout_;
     MeshConfig config_;
     MeshActivity activity_;
+    fault::FaultInjector *fault_; //!< non-owning; null = healthy system
+    /**
+     * Fault-aware routing table, [dst_router * num_routers + router] ->
+     * output port (-1 = unreachable). Empty when no mesh link is dead,
+     * in which case the inline XY computation is byte-for-byte the
+     * pre-fault behaviour.
+     */
+    std::vector<std::int16_t> nextHop_;
     /** Per-router, per-direction link traversal counts (heatmap). */
     std::vector<std::array<Counter, 4>> linkFlits_;
     // The packet pool must outlive the flit buffers / pending list that
@@ -143,6 +184,7 @@ class MeshNetwork : public Network
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<Injector> injectors_;       // per endpoint
     std::vector<PendingDelivery> pending_;  // tail-ejected packets
+    std::vector<RetxEvent> retxQueue_;      // NACKed, awaiting re-inject
     std::uint64_t packetsInFlight_ = 0;
     std::uint64_t pendingCredits_ = 0; //!< unmatured credit events
     std::uint64_t idleTicks_ = 0;      //!< skipped ticks to replay

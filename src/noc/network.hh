@@ -113,6 +113,40 @@ class NetworkStats
 };
 
 /**
+ * Fault-recovery counters shared by every interconnect, published as
+ * <net>.retx.*. All zero when no FaultInjector is attached.
+ */
+class RetxStats
+{
+  public:
+    /** A packet was (re)scheduled for another transmission attempt. */
+    void recordRetx() { packets_++; }
+    /** A reception was discarded by the CRC check. */
+    void recordCrcDrop() { crcDrops_++; }
+    /** A transmission was absorbed by dead hardware. */
+    void recordDeadChannelLoss() { deadChannelLosses_++; }
+
+    std::uint64_t packets() const { return packets_.value(); }
+    std::uint64_t crcDrops() const { return crcDrops_.value(); }
+    std::uint64_t deadChannelLosses() const
+    { return deadChannelLosses_.value(); }
+
+    /** Publish under @p scope (packets / crc_drops / dead_losses). */
+    void
+    registerStats(const obs::Scope &scope) const
+    {
+        scope.counter("packets", packets_);
+        scope.counter("crc_drops", crcDrops_);
+        scope.counter("dead_losses", deadChannelLosses_);
+    }
+
+  private:
+    Counter packets_;
+    Counter crcDrops_;
+    Counter deadChannelLosses_;
+};
+
+/**
  * Abstract interconnect. The owning System calls tick() exactly once per
  * core cycle (before the protocol controllers), and endpoints call send()
  * during their own ticks. Delivery happens via per-endpoint handlers.
@@ -153,13 +187,20 @@ class Network
     NetworkStats &stats() { return stats_; }
     const NetworkStats &stats() const { return stats_; }
 
+    RetxStats &retxStats() { return retx_; }
+    const RetxStats &retxStats() const { return retx_; }
+
     /**
      * Publish this interconnect's stats under @p scope. The base
      * registers the shared NetworkStats; implementations extend it
      * with their own counters (mesh activity, FSOI collisions, ...).
      */
-    virtual void registerStats(const obs::Scope &scope) const
-    { stats_.registerStats(scope); }
+    virtual void
+    registerStats(const obs::Scope &scope) const
+    {
+        stats_.registerStats(scope);
+        retx_.registerStats(scope.scope("retx"));
+    }
 
   protected:
     /** Timestamp + id bookkeeping every implementation shares. */
@@ -176,6 +217,7 @@ class Network
     std::uint64_t nextId_ = 1;
     std::vector<Handler> handlers_;
     NetworkStats stats_;
+    RetxStats retx_;
 };
 
 } // namespace fsoi::noc

@@ -38,6 +38,11 @@ parseCliOptions(int &argc, char **argv)
                 fatal("--stats-interval wants a positive cycle count, "
                       "got '%s'", v3);
             opts.stats_interval = static_cast<Cycle>(n);
+        } else if (const char *v4 = matchValue(arg, "--seed")) {
+            char *end = nullptr;
+            opts.seed = std::strtoull(v4, &end, 0);
+            if (end == v4 || *end != '\0' || opts.seed == 0)
+                fatal("--seed wants a positive integer, got '%s'", v4);
         } else if (std::strcmp(arg, "--stats") == 0) {
             opts.stats_text = true;
         } else {

@@ -9,6 +9,10 @@
  *   --stats-csv=FILE      same in CSV form
  *   --stats-interval=N    sample every N cycles
  *   --stats               print the text stat tree to stdout at exit
+ *   --seed=N              top-level SystemConfig seed; every derived
+ *                         RNG stream (cores, FSOI backoff, fault
+ *                         schedules) follows from it, so runs are
+ *                         reproducible from the command line
  *
  * Tracing is configured through the environment (FSOI_TRACE /
  * FSOI_TRACE_FILE), not argv, so it works identically under ctest,
@@ -18,6 +22,7 @@
 #ifndef FSOI_OBS_CLI_HH
 #define FSOI_OBS_CLI_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/types.hh"
@@ -30,6 +35,7 @@ struct CliOptions
     std::string stats_csv;  //!< empty = off, "-" = stdout
     Cycle stats_interval = 0; //!< 0 = end-of-run dump only
     bool stats_text = false;
+    std::uint64_t seed = 0;   //!< 0 = keep the config's default seed
 
     bool any() const
     { return stats_text || !stats_json.empty() || !stats_csv.empty(); }

@@ -39,6 +39,19 @@ class Watchdog
     {
         /** Cycles the instruction feed may stay flat before tripping. */
         Cycle quiet_window = 2'000'000;
+
+        /**
+         * Extra stall allowance while fault-driven retransmission is
+         * enabled. A healthy retry burst — every sender waiting out
+         * its bounded exponential backoff — can legitimately keep the
+         * instruction feed flat past the base window without being a
+         * NACK/retry storm, so the trip threshold (and the
+         * Livelock/Deadlock classification boundary with it) stretches
+         * by the configured retry budget's worst-case resolution time
+         * (see analytic::boundedResolutionBudget). Zero when no faults
+         * are injected, leaving the original heuristic untouched.
+         */
+        Cycle retry_grace = 0;
     };
 
     struct Report
@@ -73,8 +86,9 @@ class Watchdog
         Report report;
         report.stalled_for = now - last_instr_cycle_;
         report.net_quiet_for = now - last_net_cycle_;
-        if (report.stalled_for > config_.quiet_window) {
-            report.verdict = report.net_quiet_for <= config_.quiet_window
+        const Cycle window = config_.quiet_window + config_.retry_grace;
+        if (report.stalled_for > window) {
+            report.verdict = report.net_quiet_for <= window
                 ? WatchdogVerdict::Livelock
                 : WatchdogVerdict::Deadlock;
         }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "analytic/backoff_model.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "obs/crash.hh"
@@ -136,10 +137,23 @@ System::System(const SystemConfig &config)
     config_.fsoi.collision_hints = config_.opt_data_collision;
     config_.fsoi.seed = config_.seed * 0x9e3779b9ULL + 17;
 
+    // A System without faults constructs no injector at all, and the
+    // datapaths' null fast paths make the fault layer a true no-op.
+    if (config_.fault.enabled()) {
+        if (config_.fault.seed == 0)
+            config_.fault.seed = config_.seed * 0x9e3779b9ULL + 29;
+        fault_ = std::make_unique<fault::FaultInjector>(
+            config_.fault,
+            fault::FaultTopology{layout_.numEndpoints(),
+                                 config_.fsoi.receivers_per_lane,
+                                 layout_.side()});
+    }
+
     switch (config_.network) {
       case NetKind::Mesh:
         network_ = std::make_unique<noc::MeshNetwork>(layout_,
-                                                      config_.mesh);
+                                                      config_.mesh,
+                                                      fault_.get());
         meshNet_ = static_cast<noc::MeshNetwork *>(network_.get());
         break;
       case NetKind::L0:
@@ -156,7 +170,8 @@ System::System(const SystemConfig &config)
         break;
       case NetKind::Fsoi:
         network_ = std::make_unique<fsoi::FsoiNetwork>(layout_,
-                                                       config_.fsoi);
+                                                       config_.fsoi,
+                                                       fault_.get());
         fsoiNet_ = static_cast<fsoi::FsoiNetwork *>(network_.get());
         break;
     }
@@ -224,6 +239,10 @@ System::System(const SystemConfig &config)
             os << ",\"fsoi\":";
             fsoiNet_->writeLaneStateJson(os);
         }
+        if (fault_) {
+            os << ",\"fault\":";
+            fault_->writeJson(os);
+        }
     });
     for (auto &l1 : l1s_)
         l1->setFlightRecorder(&flightRec_);
@@ -257,6 +276,9 @@ System::registerStats()
       default: break;
     }
     network_->registerStats(root.scope(net_scope));
+
+    if (fault_)
+        fault_->registerStats(root.scope("fault"));
 
     // Host-side self-profile: nondeterministic wall-clock data, so it
     // lives under its own top-level prefix that golden-stats diffs
@@ -431,7 +453,42 @@ System::quiescent() const
 RunResult
 System::run()
 {
-    obs::Watchdog watchdog({config_.progress_stall_limit});
+    // A mesh partitioned by dead links can never satisfy every miss;
+    // diagnose that up front instead of simulating into a guaranteed
+    // wedge (and instead of a watchdog deadlock panic).
+    if (fault_ && meshNet_ && !meshNet_->fullyConnected()) {
+        faultDiagnosis_ = "partitioned mesh (unreachable routers): "
+            + fault_->diagnose();
+        warn("%s", faultDiagnosis_.c_str());
+        return collectResult(0, false);
+    }
+
+    obs::Watchdog::Config wd_config{config_.progress_stall_limit, 0};
+    if (fault_) {
+        // Healthy retransmission bursts may hold the instruction feed
+        // flat for the full bounded-backoff budget of every packet a
+        // lane can queue; stretch the watchdog's window by that much
+        // so retry traffic is not misread as a livelock storm.
+        analytic::BackoffParams bp;
+        bp.window = config_.fsoi.backoff_window;
+        bp.base = config_.fsoi.backoff_base;
+        bp.confirmation_delay = config_.fsoi.confirmation_delay;
+        int queue_depth = config_.fsoi.queue_capacity;
+        if (fsoiNet_) {
+            bp.slot_cycles = fsoiNet_->slotCycles(PacketClass::Data);
+        } else {
+            // Mesh NACK round trip across the diameter plays the role
+            // of the retry slot.
+            bp.slot_cycles = 2 * 2 * (layout_.side() - 1)
+                * (config_.mesh.router_cycles + config_.mesh.link_cycles);
+            queue_depth = config_.mesh.inject_queue_capacity;
+        }
+        bp.slot_cycles = std::max(bp.slot_cycles, 1);
+        wd_config.retry_grace =
+            analytic::boundedResolutionBudget(bp, config_.fault.max_retx)
+            * static_cast<Cycle>(queue_depth);
+    }
+    obs::Watchdog watchdog(wd_config);
     bool completed = false;
     const Cycle completion_mask = config_.completion_check_stride - 1;
     const Cycle progress_mask = config_.progress_check_stride - 1;
@@ -521,12 +578,16 @@ System::run()
                 + net.attempts(PacketClass::Data);
             const obs::Watchdog::Report report =
                 watchdog.check(now_, instr, net_events);
-            if (report.verdict != obs::WatchdogVerdict::Ok)
+            if (report.verdict != obs::WatchdogVerdict::Ok) {
+                // Panics without fault injection; with it, records the
+                // diagnosis and lets the run end as a diagnosed fault.
                 onWatchdogTrip(report);
+                break;
+            }
         }
     }
 
-    if (!completed)
+    if (!completed && faultDiagnosis_.empty())
         warn("run hit max_cycles=%llu before completing",
              static_cast<unsigned long long>(config_.max_cycles));
     if (sampler_)
@@ -537,9 +598,12 @@ System::run()
 /**
  * Watchdog trip: dump human-readable component state to stderr, write
  * the flight-recorder post-mortem (stuck transactions, recent protocol
- * events, per-link network state), then abort with a verdict that
+ * events, per-link network state), then act on the verdict that
  * distinguishes deadlock (network quiet too) from livelock (packets
- * still moving while no instruction retires).
+ * still moving while no instruction retires). With fault injection
+ * active the wedge is the *expected* consequence of the schedule, so
+ * instead of aborting the trip becomes a diagnosed-fault report naming
+ * the dead channels/links, and run() ends normally.
  */
 void
 System::onWatchdogTrip(const obs::Watchdog::Report &report)
@@ -563,11 +627,23 @@ System::onWatchdogTrip(const obs::Watchdog::Report &report)
         meshNet_->debugDump();
 
     char reason[64];
-    std::snprintf(reason, sizeof(reason), "watchdog:%s",
+    std::snprintf(reason, sizeof(reason), "%s:%s",
+                  fault_ ? "fault" : "watchdog",
                   obs::watchdogVerdictName(report.verdict));
     // Marks the dump done, so the fatal hook installed by
     // installCrashHooks() does not write it a second time from panic.
     obs::crashDump(reason);
+
+    if (fault_) {
+        faultDiagnosis_ = std::string(
+            obs::watchdogVerdictName(report.verdict))
+            + " attributed to injected faults: " + fault_->diagnose();
+        warn("%s (no instruction retired for %llu cycles at cycle %llu)",
+             faultDiagnosis_.c_str(),
+             static_cast<unsigned long long>(report.stalled_for),
+             static_cast<unsigned long long>(now_));
+        return;
+    }
 
     panic("%s: no instruction retired for %llu cycles at cycle %llu "
           "(network %s for %llu cycles; %zu outstanding misses, "
@@ -655,6 +731,14 @@ System::collectResult(Cycle cycles, bool completed) const
         res.data_resolution_delay = fsoiNet_->meanDataResolutionDelay();
         res.control_bits = fsoiNet_->activity().control_bits.value();
     }
+    res.retransmissions = network_->retxStats().packets();
+    res.fault_diagnosis = faultDiagnosis_;
+    if (fault_) {
+        res.fault_bit_errors = fault_->bitErrors();
+        res.blacklisted_channels = fault_->blacklists();
+        res.unroutable_drops = fault_->unroutableDrops();
+    }
+
     res.energy = computeEnergy(config_.energy, activity);
     res.avg_power_w = res.energy.averagePower(
         res.cycles, config_.energy.freq_hz);

@@ -25,6 +25,7 @@
 #include "coherence/transport.hh"
 #include "common/pool.hh"
 #include "cpu/core.hh"
+#include "fault/fault_model.hh"
 #include "fsoi/fsoi_network.hh"
 #include "memory/memory_controller.hh"
 #include "noc/ideal_network.hh"
@@ -53,6 +54,13 @@ struct SystemConfig
 
     noc::MeshConfig mesh;
     fsoi::FsoiConfig fsoi;
+    /**
+     * Fault injection (dead channels/links, misalignment, BER). All
+     * zero by default: no FaultInjector is constructed and every fault
+     * hook in the datapaths stays on its null fast path, so a healthy
+     * run is bit-identical to a build without the fault layer.
+     */
+    fault::FaultConfig fault;
     coherence::L1Config l1;
     coherence::DirConfig dir;
     memory::MemConfig mem;          //!< bytes_per_cycle derived below
@@ -131,6 +139,18 @@ struct RunResult
 
     EnergyReport energy;
     double avg_power_w = 0.0;
+
+    // --- fault injection (all zero / empty on a healthy run) ---
+    std::uint64_t retransmissions = 0;    //!< <net>.retx.packets
+    std::uint64_t fault_bit_errors = 0;   //!< CRC-detected corruptions
+    std::uint64_t blacklisted_channels = 0;
+    std::uint64_t unroutable_drops = 0;
+    /**
+     * Non-empty when the run ended because the watchdog (or the eager
+     * partition check) attributed the wedge to the injected faults; it
+     * names the dead channels/links instead of panicking.
+     */
+    std::string fault_diagnosis;
 };
 
 /** A fully assembled simulated CMP. */
@@ -162,6 +182,7 @@ class System
     memory::MemoryController &memctl(int i) { return *memctls_.at(i); }
     fsoi::FsoiNetwork *fsoiNetwork() { return fsoiNet_; }
     noc::MeshNetwork *meshNetwork() { return meshNet_; }
+    fault::FaultInjector *faultInjector() { return fault_.get(); }
     const noc::MeshLayout &layout() const { return layout_; }
 
     /** Home directory node of a line address. */
@@ -215,7 +236,12 @@ class System
     };
 
     void routeMessage(NodeId dst, const coherence::Message &msg);
-    [[noreturn]] void onWatchdogTrip(const obs::Watchdog::Report &report);
+    /**
+     * With fault injection active: write the post-mortem, record the
+     * diagnosis in faultDiagnosis_ and return (the run ends cleanly).
+     * Without it a watchdog trip is a simulator bug and panics.
+     */
+    void onWatchdogTrip(const obs::Watchdog::Report &report);
     void wireNetworkHandlers();
     void registerStats();
     bool quiescent() const;
@@ -228,6 +254,10 @@ class System
     // Recycles the per-packet Message payloads; must outlive the
     // network below, whose in-flight packets hold pointers into it.
     common::BlockPool msgPool_;
+
+    // The injector must outlive the networks holding views of it.
+    std::unique_ptr<fault::FaultInjector> fault_;
+    std::string faultDiagnosis_;
 
     std::unique_ptr<noc::Network> network_;
     fsoi::FsoiNetwork *fsoiNet_ = nullptr; //!< non-owning view

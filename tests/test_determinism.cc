@@ -58,17 +58,31 @@ expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
     EXPECT_EQ(a.control_bits, b.control_bits);
     EXPECT_EQ(a.avg_power_w, b.avg_power_w);
     EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.retransmissions, b.retransmissions);
+    EXPECT_EQ(a.fault_bit_errors, b.fault_bit_errors);
+    EXPECT_EQ(a.blacklisted_channels, b.blacklisted_channels);
+    EXPECT_EQ(a.unroutable_drops, b.unroutable_drops);
+    EXPECT_EQ(a.fault_diagnosis, b.fault_diagnosis);
 }
 
 std::vector<sim::SweepJob>
 matrix()
 {
+    // Two faulted points ride along: the fault schedule, the transient
+    // bit-error stream, and every recovery action must be exactly as
+    // deterministic as the healthy simulation.
+    auto fsoi_ber = point(sim::NetKind::Fsoi, "fft", 7);
+    fsoi_ber.config.fault.ber = 1e-4;
+    auto mesh_dead = point(sim::NetKind::Mesh, "fft", 7);
+    mesh_dead.config.fault.dead_link_fraction = 1.0 / 24.0;
     return {
         point(sim::NetKind::Fsoi, "fft", 3),
         point(sim::NetKind::Mesh, "fft", 3),
         point(sim::NetKind::Fsoi, "barnes", 9),
         point(sim::NetKind::Mesh, "barnes", 9),
         point(sim::NetKind::Fsoi, "fft", 4),
+        fsoi_ber,
+        mesh_dead,
     };
 }
 

@@ -73,6 +73,34 @@ TEST(Watchdog, BusyNetworkClassifiesAsLivelock)
     EXPECT_EQ(report.net_quiet_for, 0u);
 }
 
+TEST(Watchdog, RetryGraceExtendsTripWindow)
+{
+    // quiet_window 1000 + retry_grace 600: a healthy fault-driven
+    // retransmission burst may keep the instruction feed flat past the
+    // base window without being misclassified as a livelock.
+    Watchdog w({1000, 600});
+    EXPECT_EQ(w.check(0, 5, 7).verdict, WatchdogVerdict::Ok);
+    // Flat for 1500 cycles: past quiet_window, inside the grace.
+    EXPECT_EQ(w.check(1500, 5, 900).verdict, WatchdogVerdict::Ok);
+    // Flat past quiet_window + retry_grace: now it trips, and the
+    // still-churning network classifies it as a livelock.
+    const auto report = w.check(2200, 5, 1800);
+    EXPECT_EQ(report.verdict, WatchdogVerdict::Livelock);
+    EXPECT_EQ(report.stalled_for, 2200u);
+}
+
+TEST(Watchdog, RetryGraceAlsoStretchesDeadlockBoundary)
+{
+    // Both feeds flat past the stretched window: a genuine deadlock,
+    // not a retry burst -- the classification boundary moves with the
+    // trip threshold so the two verdicts stay consistent.
+    Watchdog w({1000, 600});
+    EXPECT_EQ(w.check(0, 5, 7).verdict, WatchdogVerdict::Ok);
+    const auto report = w.check(2200, 5, 7);
+    EXPECT_EQ(report.verdict, WatchdogVerdict::Deadlock);
+    EXPECT_EQ(report.net_quiet_for, 2200u);
+}
+
 TEST(Watchdog, VerdictNames)
 {
     EXPECT_STREQ(obs::watchdogVerdictName(WatchdogVerdict::Ok), "ok");

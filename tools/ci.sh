@@ -54,6 +54,19 @@ echo "== telemetry overhead gate =="
 # when a round catches a throttling spike.
 "$build/bench/obs_overhead" --max=3 --reps=5 1.0
 
+echo "== sanitizer leg (ASan + UBSan) =="
+# The whole test suite again under AddressSanitizer + UBSan
+# (-fno-sanitize-recover=all: any finding is fatal). A separate build
+# tree keeps the instrumented objects away from the perf-gated ones.
+# The fault-injection paths get their deepest coverage here: the fault
+# tests drive dead channels, route-around tables, and retransmission
+# queues, exactly the pointer-heavy code a latent lifetime bug hides in.
+sanbuild="$build-asan"
+cmake -B "$sanbuild" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFSOI_SANITIZE=ON
+cmake --build "$sanbuild" -j "$(nproc 2>/dev/null || echo 2)"
+ctest --test-dir "$sanbuild" --output-on-failure
+
 echo "== perf gate =="
 # Warmup pass (discarded): absorbs post-build CPU-quota throttling and
 # cold caches so the gated measurement reflects steady state. The

@@ -316,6 +316,54 @@ printFsoiChannels(const FlatStats &s)
     }
 }
 
+/**
+ * Fault-injection section: the scheduled fault plan (fault.schedule.*)
+ * and the recovery counters (fault.*, <net>.retx.*). Printed only when
+ * the run carried a FaultInjector; healthy runs have no fault.* keys.
+ * The generic diff below covers these keys like any other, so the
+ * golden-stats gate extends to fault counters for free.
+ */
+void
+printFaultSummary(const FlatStats &s)
+{
+    bool any = false;
+    for (const auto &[key, value] : s.values) {
+        (void)value;
+        if (key.compare(0, 6, "fault.") == 0) {
+            any = true;
+            break;
+        }
+    }
+    if (!any)
+        return;
+    std::printf("\nfault injection\n");
+    std::printf("  schedule: dead rx %.0f  dead tx %.0f  dead links "
+                "%.0f  effective BER %.3g\n",
+                lookup(s, "fault.schedule.dead_rx", 0.0),
+                lookup(s, "fault.schedule.dead_tx", 0.0),
+                lookup(s, "fault.schedule.dead_links", 0.0),
+                lookup(s, "fault.schedule.effective_ber", 0.0));
+    std::printf("  bit errors %.0f  dead-channel losses %.0f  "
+                "blacklists %.0f  redirects %.0f\n",
+                lookup(s, "fault.bit_errors", 0.0),
+                lookup(s, "fault.dead_channel_losses", 0.0),
+                lookup(s, "fault.blacklists", 0.0),
+                lookup(s, "fault.redirects", 0.0));
+    std::printf("  unroutable drops %.0f  retx budget exhausted %.0f\n",
+                lookup(s, "fault.unroutable_drops", 0.0),
+                lookup(s, "fault.retx_exhausted", 0.0));
+    for (const char *net : {"mesh", "fsoi", "net"}) {
+        const std::string base = std::string(net) + ".retx.";
+        if (!s.values.count(base + "packets"))
+            continue;
+        std::printf("  %s retx: packets %.0f  crc drops %.0f  "
+                    "dead losses %.0f\n",
+                    net, lookup(s, base + "packets", 0.0),
+                    lookup(s, base + "crc_drops", 0.0),
+                    lookup(s, base + "dead_losses", 0.0));
+    }
+}
+
 void
 printLatency(const FlatStats &s, const char *net)
 {
@@ -345,6 +393,7 @@ summarize(const std::string &path)
                     lookup(s, "system.l1.miss_rate", 0.0));
     for (const char *net : {"mesh", "fsoi", "net"})
         printLatency(s, net);
+    printFaultSummary(s);
     printMeshHeatmap(s);
     printFsoiChannels(s);
     return 0;
