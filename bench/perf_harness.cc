@@ -7,21 +7,28 @@
  * SweepRunner to time the multi-job path.
  *
  * Usage:
- *   perf_harness [--quick] [--jobs=N] [--reps=N] [--json=FILE]
- *                [--check=FILE] [--tolerance=F]
+ *   perf_harness [--quick] [--jobs=N] [--threads=N] [--reps=N]
+ *                [--json=FILE] [--check=FILE] [--tolerance=F]
  *
  *   --quick        scale the workloads down (the configuration the
  *                  committed BENCH_perf.json and tools/ci.sh use)
+ *   --threads=N    intra-run tick-engine threads for every timed
+ *                  System (default 1, the gated configuration; 0 =
+ *                  one per host CPU). Cycle counts are identical at
+ *                  any N, so the gate still validates determinism.
  *   --reps=N       time each run N times and keep the fastest
  *                  (default 3; cycle counts must agree across reps)
  *   --json=FILE    write the measurements as JSON (schema below)
  *   --check=FILE   compare against a previously written JSON file:
  *                  per-run cycle counts must match exactly (stat
  *                  drift) and cycles/sec must be within the tolerance
- *                  (default 0.10 = +/-10%); exit non-zero on failure
+ *                  (default 0.10 = +/-10%); exit non-zero on failure.
+ *                  The sweep speedup is also compared, informationally
+ *                  on a single-CPU host (no parallelism to measure).
  *
  * JSON schema:
- *   {"schema":"fsoi-perf-1","quick":true,"jobs":4,
+ *   {"schema":"fsoi-perf-1","quick":true,"jobs":4,"threads":1,
+ *    "host_cpus":8,
  *    "runs":[{"name":"mesh.fft","cycles":123,"wall_s":1.5,
  *             "cycles_per_sec":82.0},...],
  *    "profile":[{"name":"mesh.fft","sampled_cycles":123,
@@ -43,6 +50,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
@@ -101,7 +109,8 @@ extractNumber(const std::string &doc, const std::string &key,
 
 int
 checkAgainst(const std::string &path, double tolerance,
-             const std::vector<RunMeasurement> &runs)
+             const std::vector<RunMeasurement> &runs, double speedup,
+             unsigned host_cpus)
 {
     std::ifstream is(path);
     if (!is) {
@@ -152,6 +161,34 @@ checkAgainst(const std::string &path, double tolerance,
         std::printf("check ok   %-12s cycles match, cycles/sec %+.1f%%\n",
                     run.name.c_str(), 100 * rel);
     }
+
+    // Sweep speedup: only meaningful with real parallel hardware. On
+    // a single-CPU host the sweep measures pool overhead, so report
+    // the comparison without letting it gate.
+    double base_speedup = 0;
+    std::size_t sweep_at = doc.find("\"sweep\":");
+    if (sweep_at != std::string::npos
+        && extractNumber(doc, "speedup_vs_serial", sweep_at,
+                         base_speedup)
+        && base_speedup > 0) {
+        const double rel = speedup / base_speedup - 1.0;
+        if (host_cpus <= 1) {
+            std::printf("check info sweep speedup %.2fx vs baseline "
+                        "%.2fx (single-CPU host, informational)\n",
+                        speedup, base_speedup);
+        } else if (rel < -tolerance) {
+            std::fprintf(stderr,
+                         "CHECK FAIL sweep speedup %.2fx vs baseline "
+                         "%.2fx (%.1f%%, tolerance -%.0f%%)\n",
+                         speedup, base_speedup, 100 * rel,
+                         100 * tolerance);
+            ++failures;
+        } else {
+            std::printf("check ok   sweep speedup %.2fx vs baseline "
+                        "%.2fx (%+.1f%%)\n", speedup, base_speedup,
+                        100 * rel);
+        }
+    }
     return failures;
 }
 
@@ -162,6 +199,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     int jobs = 0; // 0 = hardware concurrency
+    int threads = 1; // gated configuration is single-threaded
     int reps = 3;
     std::string json_path, check_path;
     double tolerance = 0.10;
@@ -171,6 +209,8 @@ main(int argc, char **argv)
             quick = true;
         else if (arg.rfind("--jobs=", 0) == 0)
             jobs = std::atoi(arg.data() + 7);
+        else if (arg.rfind("--threads=", 0) == 0)
+            threads = std::atoi(arg.data() + 10);
         else if (arg.rfind("--reps=", 0) == 0)
             reps = std::max(1, std::atoi(arg.data() + 7));
         else if (arg.rfind("--json=", 0) == 0)
@@ -182,13 +222,21 @@ main(int argc, char **argv)
         else {
             std::fprintf(stderr,
                          "usage: perf_harness [--quick] [--jobs=N] "
-                         "[--reps=N] [--json=FILE] [--check=FILE] "
-                         "[--tolerance=F]\n");
+                         "[--threads=N] [--reps=N] [--json=FILE] "
+                         "[--check=FILE] [--tolerance=F]\n");
             return 2;
         }
     }
     const double scale = quick ? 0.25 : 1.0;
     const int sweep_jobs = common::resolveJobs(jobs);
+    const unsigned host_cpus =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    const auto timedConfig = [&](sim::NetKind kind) {
+        auto cfg = bench::paperConfig(16, kind, 7);
+        cfg.threads = threads;
+        return cfg;
+    };
 
     const RunSpec specs[] = {
         {"mesh.fft", sim::NetKind::Mesh, "fft"},
@@ -215,7 +263,7 @@ main(int argc, char **argv)
     }
     for (int rep = 0; rep < reps; ++rep) {
         for (std::size_t i = 0; i < runs.size(); ++i) {
-            const auto cfg = bench::paperConfig(16, specs[i].kind, 7);
+            const auto cfg = timedConfig(specs[i].kind);
             const auto app = workload::appByName(specs[i].app);
             const double t0 = nowSeconds();
             const auto res = bench::runConfig(cfg, app, scale);
@@ -260,7 +308,7 @@ main(int argc, char **argv)
         const double t0 = nowSeconds();
         for (const auto &spec : specs)
             futs.push_back(runner.submit(sim::SweepJob{
-                bench::paperConfig(16, spec.kind, 7),
+                timedConfig(spec.kind),
                 workload::appByName(spec.app), scale}));
         for (std::size_t i = 0; i < futs.size(); ++i) {
             const auto res = futs[i].get();
@@ -292,7 +340,7 @@ main(int argc, char **argv)
     std::vector<ProfileRow> profiles;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const auto outcome = sim::SweepRunner::runJob(
-            sim::SweepJob{bench::paperConfig(16, specs[i].kind, 7),
+            sim::SweepJob{timedConfig(specs[i].kind),
                           workload::appByName(specs[i].app), scale},
             true);
         const obs::PhaseProfiler &prof = outcome.system->profiler();
@@ -325,7 +373,8 @@ main(int argc, char **argv)
         }
         os << "{\"schema\":\"fsoi-perf-1\",\"quick\":"
            << (quick ? "true" : "false") << ",\"jobs\":" << sweep_jobs
-           << ",\"runs\":[";
+           << ",\"threads\":" << threads
+           << ",\"host_cpus\":" << host_cpus << ",\"runs\":[";
         for (std::size_t i = 0; i < runs.size(); ++i) {
             char buf[160];
             std::snprintf(buf, sizeof(buf),
@@ -368,7 +417,8 @@ main(int argc, char **argv)
     }
 
     if (!check_path.empty()) {
-        const int failures = checkAgainst(check_path, tolerance, runs);
+        const int failures = checkAgainst(check_path, tolerance, runs,
+                                          speedup, host_cpus);
         if (failures) {
             std::fprintf(stderr, "perf_harness: %d check failure(s)\n",
                          failures);

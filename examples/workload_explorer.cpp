@@ -58,6 +58,7 @@ main(int argc, char **argv)
         sim::SystemConfig cfg = sim::SystemConfig::paperConfig(16, kind);
         if (obs_opts.seed != 0)
             cfg.seed = obs_opts.seed;
+        cfg.threads = obs_opts.threads;
         sim::System system(cfg);
         system.loadApp(app.scaled(scale));
         sim::StatsIo stats(system, obs_opts);

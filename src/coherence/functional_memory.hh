@@ -12,33 +12,64 @@
 #define FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/types.hh"
 
 namespace fsoi::coherence {
 
-/** Sparse 64-bit word store shared by every core in a System. */
+/**
+ * Sparse 64-bit word store shared by every core in a System.
+ *
+ * Under the parallel tick engine, L1s and directories on different
+ * shards touch the store concurrently, so the System enables the
+ * internal lock (guarding the container against rehash races). The
+ * values themselves stay deterministic without any ordering help:
+ * MESI exclusivity serializes same-word write/read pairs at the
+ * protocol level, and same-cycle accesses to different words commute.
+ */
 class FunctionalMemory
 {
   public:
+    /** Turn on internal locking (threaded runs only; serial runs keep
+     *  the lock-free fast path). */
+    void enableLocking(bool on) { locked_ = on; }
+
     std::uint64_t
     read(Addr addr) const
     {
-        const auto it = words_.find(addr);
-        return it == words_.end() ? 0 : it->second;
+        if (locked_) {
+            std::lock_guard<std::mutex> guard(mutex_);
+            return readUnlocked(addr);
+        }
+        return readUnlocked(addr);
     }
 
     void
     write(Addr addr, std::uint64_t value)
     {
+        if (locked_) {
+            std::lock_guard<std::mutex> guard(mutex_);
+            words_[addr] = value;
+            return;
+        }
         words_[addr] = value;
     }
 
     void clear() { words_.clear(); }
 
   private:
+    std::uint64_t
+    readUnlocked(Addr addr) const
+    {
+        const auto it = words_.find(addr);
+        return it == words_.end() ? 0 : it->second;
+    }
+
     std::unordered_map<Addr, std::uint64_t> words_;
+    mutable std::mutex mutex_;
+    bool locked_ = false;
 };
 
 } // namespace fsoi::coherence

@@ -237,6 +237,13 @@ FsoiNetwork::canAccept(NodeId src, PacketClass cls) const
 }
 
 int
+FsoiNetwork::sendBudget(NodeId src, PacketClass cls) const
+{
+    return config_.queue_capacity
+        - static_cast<int>(lane(src, cls).queue.size());
+}
+
+int
 FsoiNetwork::windowSlots(int retry) const
 {
     const double w = config_.backoff_window
@@ -484,7 +491,7 @@ FsoiNetwork::resolveSlot(PacketClass cls, Cycle now)
             }
             // Clean reception: deliver now, confirm the sender at
             // now + confirmation_delay.
-            Packet confirm_copy = pkt; // cheap: payload is shared_ptr
+            Packet confirm_copy = pkt; // trivially copyable, no alloc
             if (pkt.cls == PacketClass::Data && pkt.retries > 0)
                 dataResolution_.add(
                     static_cast<double>(pkt.final_tx - pkt.first_tx));

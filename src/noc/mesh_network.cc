@@ -17,27 +17,77 @@ namespace {
 enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
 constexpr int kFirstLocal = 4;
 
+/** Upper bound on router ports (4 directions + local endpoints),
+ *  asserted at construction; sizes the arbitration scratch arrays. */
+constexpr int kMaxPorts = 8;
+
 const char *const kDirectionNames[4] = {"east", "west", "north", "south"};
 
 } // namespace
 
-/** One flit of a packet in flight. */
+/** One flit of a packet in flight: 16 flat bytes, no indirection. */
 struct MeshNetwork::Flit
 {
-    std::shared_ptr<Packet> pkt;
-    bool head = false;
-    bool tail = false;
+    PacketHandle pkt = kNullPkt;
+    std::uint8_t head = 0;
+    std::uint8_t tail = 0;
     Cycle ready_at = 0; //!< switch-allocation eligibility at this router
 };
 
 /** A single mesh router with VC input buffers and credit flow control. */
 struct MeshNetwork::Router
 {
+    /**
+     * VC buffer as a fixed-capacity ring over a flat Flit array. The
+     * capacity is buffer_depth, which the credit protocol (and the
+     * explicit injection-side checks) already enforce, so push/pop are
+     * two or three stores with no allocation -- the deque-of-shared_ptr
+     * this replaces paid chunk management plus refcount traffic on the
+     * hottest loop in the simulator.
+     */
     struct Vc
     {
-        std::deque<Flit> buf;
+        std::vector<Flit> ring; //!< sized to buffer_depth, never grows
+        int head = 0;
+        int count = 0;
         int out_port = -1; //!< route of the packet currently at the head
         int out_vc = -1;   //!< downstream VC granted to that packet
+
+        bool empty() const { return count == 0; }
+        Flit &front() { return ring[static_cast<std::size_t>(head)]; }
+        const Flit &front() const
+        { return ring[static_cast<std::size_t>(head)]; }
+
+        const Flit &
+        back() const
+        {
+            int idx = head + count - 1;
+            const int cap = static_cast<int>(ring.size());
+            if (idx >= cap)
+                idx -= cap;
+            return ring[static_cast<std::size_t>(idx)];
+        }
+
+        void
+        push(const Flit &flit)
+        {
+            const int cap = static_cast<int>(ring.size());
+            FSOI_ASSERT(count < cap);
+            int idx = head + count;
+            if (idx >= cap)
+                idx -= cap;
+            ring[static_cast<std::size_t>(idx)] = flit;
+            ++count;
+        }
+
+        void
+        pop()
+        {
+            ++head;
+            if (head >= static_cast<int>(ring.size()))
+                head = 0;
+            --count;
+        }
     };
 
     struct InPort
@@ -45,7 +95,8 @@ struct MeshNetwork::Router
         Router *up = nullptr; //!< upstream router (nullptr = injection)
         int up_port = -1;     //!< output port index at the upstream router
         std::vector<Vc> vcs;
-        int rr = 0; //!< VC round-robin pointer
+        int rr = 0;       //!< VC round-robin pointer
+        int buffered = 0; //!< flits across this port's VCs (scan skip)
     };
 
     struct OutPort
@@ -66,6 +117,21 @@ struct MeshNetwork::Router
         int vc;
     };
 
+    /**
+     * Per-tick scratch: the input ports whose candidate VC routes to
+     * one output port. Filled by the switch-allocation scan, consumed
+     * (and reset) by output arbitration, which then only examines
+     * actual contenders instead of scanning every (output, input)
+     * pair. An input's candidate VC targets exactly one output, so
+     * membership is unique and the rotating-priority winner is the
+     * member with the smallest circular distance from rr_in.
+     */
+    struct WantList
+    {
+        std::array<std::int8_t, kMaxPorts> ports;
+        std::int8_t count = 0;
+    };
+
     int id = 0;
     int x = 0;
     int y = 0;
@@ -74,8 +140,10 @@ struct MeshNetwork::Router
     std::vector<InPort> in;
     std::vector<OutPort> out;
     std::vector<CreditEvent> credit_queue;
-    // Per-tick scratch: candidate VC per input port (-1 = none).
+    // Per-tick scratch: candidate VC per input port (only entries
+    // reachable through a want list are meaningful).
     std::vector<int> candidate;
+    std::vector<WantList> want; //!< per output port
 
     /**
      * Credit application is commutative (each event is one counter
@@ -105,9 +173,8 @@ struct MeshNetwork::Router
     empty() const
     {
         for (const auto &ip : in)
-            for (const auto &vc : ip.vcs)
-                if (!vc.buf.empty())
-                    return false;
+            if (ip.buffered != 0)
+                return false;
         return true;
     }
 };
@@ -147,11 +214,16 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
         router->out.resize(num_ports);
         for (int p = 0; p < num_ports; ++p) {
             router->in[p].vcs.resize(config_.num_vcs);
+            for (auto &vc : router->in[p].vcs)
+                vc.ring.resize(
+                    static_cast<std::size_t>(config_.buffer_depth));
             router->out[p].credits.assign(config_.num_vcs,
                                           config_.buffer_depth);
             router->out[p].vc_busy.assign(config_.num_vcs, 0);
         }
+        FSOI_ASSERT(num_ports <= kMaxPorts);
         router->candidate.assign(num_ports, -1);
+        router->want.resize(static_cast<std::size_t>(num_ports));
         routers_.push_back(std::move(router));
     }
 
@@ -343,6 +415,15 @@ MeshNetwork::canAccept(NodeId src, PacketClass cls) const
         < static_cast<std::size_t>(config_.inject_queue_capacity);
 }
 
+int
+MeshNetwork::sendBudget(NodeId src, PacketClass cls) const
+{
+    const auto &lane =
+        injectors_[src].lanes[static_cast<int>(cls)];
+    return config_.inject_queue_capacity
+        - static_cast<int>(lane.queue.size());
+}
+
 bool
 MeshNetwork::send(Packet &&pkt)
 {
@@ -383,29 +464,30 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
         // have room for the whole packet eventually; we stream flit by
         // flit so only per-flit room is needed, but a fresh packet must
         // not interleave with another packet on the same VC.
-        const auto &buf = iport.vcs[vc].buf;
+        const auto &buf = iport.vcs[vc];
         const bool mid_packet = !buf.empty() && !buf.back().tail;
         if (mid_packet)
             continue;
-        if (static_cast<int>(buf.size()) >= config_.buffer_depth)
+        if (buf.count >= config_.buffer_depth)
             continue;
-        if (inj.active[0] && inj.vc[0] == vc)
+        if (inj.active[0] != kNullPkt && inj.vc[0] == vc)
             continue;
-        if (inj.active[1] && inj.vc[1] == vc)
+        if (inj.active[1] != kNullPkt && inj.vc[1] == vc)
             continue;
-        auto pkt = common::makePooled<Packet>(pktPool_,
-                                              std::move(lane.queue.front()));
+        const PacketHandle h =
+            pkts_.alloc(std::move(lane.queue.front()));
         lane.queue.pop_front();
-        FSOI_TRACE_POINT(TraceCat::Noc, 3, "inject", now(), pkt->src,
-                         {"id", pkt->id}, {"dst", pkt->dst},
+        Packet &pkt = pkts_[h];
+        FSOI_TRACE_POINT(TraceCat::Noc, 3, "inject", now(), pkt.src,
+                         {"id", pkt.id}, {"dst", pkt.dst},
                          {"vc", static_cast<std::uint64_t>(vc)});
         // A NACKed packet re-entering the lane keeps its original
         // first_tx so collisionLatency() spans the full retry history.
-        if (pkt->first_tx == kNoCycle)
-            pkt->first_tx = now();
-        pkt->final_tx = now();
-        stats().recordAttempt(pkt->cls);
-        inj.active[cls_idx] = std::move(pkt);
+        if (pkt.first_tx == kNoCycle)
+            pkt.first_tx = now();
+        pkt.final_tx = now();
+        stats().recordAttempt(pkt.cls);
+        inj.active[cls_idx] = h;
         inj.remaining[cls_idx] = flitsPerPacket(
             cls_idx == 0 ? PacketClass::Meta : PacketClass::Data);
         inj.vc[cls_idx] = vc;
@@ -419,9 +501,11 @@ MeshNetwork::tickInjection(Cycle now)
     for (NodeId ep = 0; ep < static_cast<NodeId>(layout_.numEndpoints());
          ++ep) {
         Injector &inj = injectors_[ep];
+        if (inj.quiet())
+            continue;
         // Begin serialization of queued packets when a class is idle.
         for (int c = 0; c < 2; ++c)
-            if (!inj.active[c] && !inj.lanes[c].queue.empty())
+            if (inj.active[c] == kNullPkt && !inj.lanes[c].queue.empty())
                 startPacket(inj, c, ep);
 
         // One flit per cycle per endpoint, alternating classes.
@@ -429,10 +513,10 @@ MeshNetwork::tickInjection(Cycle now)
         auto &iport = router.in[localPortOf(ep)];
         for (int k = 0; k < 2; ++k) {
             const int c = (inj.rr_class + k) % 2;
-            if (!inj.active[c])
+            if (inj.active[c] == kNullPkt)
                 continue;
-            auto &buf = iport.vcs[inj.vc[c]].buf;
-            if (static_cast<int>(buf.size()) >= config_.buffer_depth)
+            auto &buf = iport.vcs[inj.vc[c]];
+            if (buf.count >= config_.buffer_depth)
                 continue; // no room this cycle
             const int total = flitsPerPacket(
                 c == 0 ? PacketClass::Meta : PacketClass::Data);
@@ -441,11 +525,12 @@ MeshNetwork::tickInjection(Cycle now)
             flit.head = inj.remaining[c] == total;
             flit.tail = inj.remaining[c] == 1;
             flit.ready_at = now + config_.router_cycles;
-            buf.push_back(std::move(flit));
+            buf.push(flit);
+            ++iport.buffered;
             ++router.buffered_flits;
             activity_.buffer_writes++;
             if (--inj.remaining[c] == 0) {
-                inj.active[c] = nullptr;
+                inj.active[c] = kNullPkt;
                 inj.vc[c] = -1;
             }
             inj.rr_class = (c + 1) % 2;
@@ -483,10 +568,11 @@ MeshNetwork::tick(Cycle now)
         std::size_t keep = 0;
         for (std::size_t i = 0; i < pending_.size(); ++i) {
             if (pending_[i].due <= now) {
-                deliver(*pending_[i].pkt);
+                deliver(pkts_[pending_[i].pkt]);
+                pkts_.release(pending_[i].pkt);
                 --packetsInFlight_;
             } else {
-                pending_[keep++] = std::move(pending_[i]);
+                pending_[keep++] = pending_[i];
             }
         }
         pending_.resize(keep);
@@ -509,27 +595,33 @@ MeshNetwork::tick(Cycle now)
         // The scan start rotates every cycle; a fixed start would give
         // low-numbered ports permanent VA priority and can starve a
         // port indefinitely under saturation.
-        std::fill(router.candidate.begin(), router.candidate.end(), -1);
         router.scan_phase = (router.scan_phase + 1)
             % static_cast<int>(router.in.size());
-        for (std::size_t pi = 0; pi < router.in.size(); ++pi) {
-            const std::size_t p =
-                (pi + router.scan_phase) % router.in.size();
+        const int num_ports = static_cast<int>(router.in.size());
+        for (int pi = 0; pi < num_ports; ++pi) {
+            int p = pi + router.scan_phase;
+            if (p >= num_ports)
+                p -= num_ports;
             auto &iport = router.in[p];
+            if (iport.buffered == 0)
+                continue;
             for (int k = 0; k < config_.num_vcs; ++k) {
-                const int v = (iport.rr + k) % config_.num_vcs;
+                int v = iport.rr + k;
+                if (v >= config_.num_vcs)
+                    v -= config_.num_vcs;
                 auto &vc = iport.vcs[v];
-                if (vc.buf.empty())
+                if (vc.empty())
                     continue;
-                Flit &flit = vc.buf.front();
+                Flit &flit = vc.front();
                 if (flit.ready_at > now)
                     continue;
+                const Packet &fpkt = pkts_[flit.pkt];
                 // Route compute for a head flit reaching the front.
                 if (flit.head && vc.out_port < 0) {
-                    const int dst_router = layout_.routerOf(flit.pkt->dst);
+                    const int dst_router = layout_.routerOf(fpkt.dst);
                     Router &dr = *routers_[dst_router];
                     if (dr.id == router.id) {
-                        vc.out_port = localPortOf(flit.pkt->dst);
+                        vc.out_port = localPortOf(fpkt.dst);
                     } else if (!nextHop_.empty()) {
                         // Fault-aware table built around dead links.
                         const int hop = nextHop_[
@@ -553,8 +645,7 @@ MeshNetwork::tick(Cycle now)
                 auto &oport = router.out[vc.out_port];
                 // VC allocation within the packet's class partition.
                 if (vc.out_vc < 0) {
-                    const bool is_meta =
-                        flit.pkt->cls == PacketClass::Meta;
+                    const bool is_meta = fpkt.cls == PacketClass::Meta;
                     const int lo = is_meta ? 0 : half;
                     const int hi = is_meta ? half : config_.num_vcs;
                     for (int j = 0; j < hi - lo; ++j) {
@@ -573,35 +664,44 @@ MeshNetwork::tick(Cycle now)
                 if (!oport.local && oport.credits[vc.out_vc] <= 0)
                     continue; // no buffer space downstream
                 router.candidate[p] = v;
+                auto &wl = router.want[static_cast<std::size_t>(
+                    vc.out_port)];
+                wl.ports[wl.count++] = static_cast<std::int8_t>(p);
                 break;
             }
         }
 
         // --- Output arbitration + switch traversal ---
+        // Only outputs with contenders are visited; the rotating
+        // rr_in priority picks the contender closest (circularly)
+        // after the pointer — the same winner the full scan found.
         for (std::size_t o = 0; o < router.out.size(); ++o) {
-            auto &oport = router.out[o];
-            int winner_port = -1;
-            const int np = static_cast<int>(router.in.size());
-            for (int k = 0; k < np; ++k) {
-                const int p = (oport.rr_in + k) % np;
-                const int v = router.candidate[p];
-                if (v < 0)
-                    continue;
-                if (router.in[p].vcs[v].out_port != static_cast<int>(o))
-                    continue;
-                winner_port = p;
-                break;
-            }
-            if (winner_port < 0)
+            auto &wl = router.want[o];
+            if (wl.count == 0)
                 continue;
+            auto &oport = router.out[o];
+            const int np = static_cast<int>(router.in.size());
+            int winner_port = -1;
+            int best = np;
+            for (int k = 0; k < wl.count; ++k) {
+                const int p = wl.ports[k];
+                int d = p - oport.rr_in;
+                if (d < 0)
+                    d += np;
+                if (d < best) {
+                    best = d;
+                    winner_port = p;
+                }
+            }
+            wl.count = 0;
             activity_.arbitrations++;
             oport.rr_in = (winner_port + 1) % np;
             auto &iport = router.in[winner_port];
             const int v = router.candidate[winner_port];
-            router.candidate[winner_port] = -1; // input used this cycle
             auto &vc = iport.vcs[v];
-            Flit flit = std::move(vc.buf.front());
-            vc.buf.pop_front();
+            Flit flit = vc.front();
+            vc.pop();
+            --iport.buffered;
             --router.buffered_flits;
             iport.rr = (v + 1) % config_.num_vcs;
             activity_.buffer_reads++;
@@ -623,14 +723,15 @@ MeshNetwork::tick(Cycle now)
                 if (flit.tail) {
                     if (fault_
                         && fault_->corrupts(
-                            static_cast<int>(flit.pkt->cls))) {
+                            static_cast<int>(pkts_[flit.pkt].cls))) {
                         // CRC check at the ejection port failed: the
                         // destination NACKs, and after the NACK's
                         // round trip the source re-injects the whole
                         // packet.
                         retxStats().recordCrcDrop();
                         retxStats().recordRetx();
-                        Packet pkt = std::move(*flit.pkt);
+                        Packet pkt = std::move(pkts_[flit.pkt]);
+                        pkts_.release(flit.pkt);
                         pkt.retries += 1;
                         const Cycle rtt = static_cast<Cycle>(
                             2 * (layout_.hopDistance(pkt.src, pkt.dst)
@@ -645,8 +746,8 @@ MeshNetwork::tick(Cycle now)
                         continue;
                     }
                     FSOI_TRACE_POINT(TraceCat::Noc, 3, "eject", now,
-                                     flit.pkt->dst,
-                                     {"id", flit.pkt->id},
+                                     pkts_[flit.pkt].dst,
+                                     {"id", pkts_[flit.pkt].id},
                                      {"router",
                                       static_cast<std::uint64_t>(
                                           router.id)},
@@ -663,13 +764,10 @@ MeshNetwork::tick(Cycle now)
                 linkFlits_[router.id][o]++;
                 flit.ready_at = now + config_.link_cycles
                     + config_.router_cycles;
-                auto &dbuf = oport.peer->in[oport.peer_port].vcs[out_vc].buf;
-                dbuf.push_back(std::move(flit));
+                auto &dport = oport.peer->in[oport.peer_port];
+                dport.vcs[out_vc].push(flit);
+                ++dport.buffered;
                 ++oport.peer->buffered_flits;
-                FSOI_ASSERT(static_cast<int>(dbuf.size())
-                            <= config_.buffer_depth,
-                            "credit protocol violated at router %d",
-                            oport.peer->id);
                 activity_.buffer_writes++;
             }
         }
@@ -711,17 +809,18 @@ MeshNetwork::debugDump() const
         for (std::size_t p = 0; p < router.in.size(); ++p) {
             for (int v = 0; v < config_.num_vcs; ++v) {
                 const auto &vc = router.in[p].vcs[v];
-                if (vc.buf.empty())
+                if (vc.empty())
                     continue;
-                const auto &f = vc.buf.front();
+                const auto &f = vc.front();
+                const Packet &pkt = pkts_[f.pkt];
                 std::fprintf(stderr,
-                             "  r%d in%zu vc%d: %zu flits, front pkt %llu "
+                             "  r%d in%zu vc%d: %d flits, front pkt %llu "
                              "%s->%u head=%d tail=%d ready=%llu outp=%d "
                              "outvc=%d\n",
-                             router.id, p, v, vc.buf.size(),
-                             (unsigned long long)f.pkt->id,
-                             f.pkt->cls == PacketClass::Meta ? "M" : "D",
-                             f.pkt->dst, (int)f.head, (int)f.tail,
+                             router.id, p, v, vc.count,
+                             (unsigned long long)pkt.id,
+                             pkt.cls == PacketClass::Meta ? "M" : "D",
+                             pkt.dst, (int)f.head, (int)f.tail,
                              (unsigned long long)f.ready_at, vc.out_port,
                              vc.out_vc);
             }
@@ -740,12 +839,12 @@ MeshNetwork::debugDump() const
     for (std::size_t ep = 0; ep < injectors_.size(); ++ep) {
         const auto &inj = injectors_[ep];
         for (int c = 0; c < 2; ++c) {
-            if (inj.active[c] || !inj.lanes[c].queue.empty())
+            if (inj.active[c] != kNullPkt || !inj.lanes[c].queue.empty())
                 std::fprintf(stderr,
                              "  inj %zu class %d: queue=%zu active=%d "
                              "remaining=%d vc=%d\n",
                              ep, c, inj.lanes[c].queue.size(),
-                             (int)(inj.active[c] != nullptr),
+                             (int)(inj.active[c] != kNullPkt),
                              inj.remaining[c], inj.vc[c]);
         }
     }
@@ -792,7 +891,8 @@ MeshNetwork::writeLinkStateJson(std::ostream &os) const
         const auto &inj = injectors_[ep];
         const std::size_t backlog =
             inj.lanes[0].queue.size() + inj.lanes[1].queue.size();
-        const bool active = inj.active[0] || inj.active[1];
+        const bool active =
+            inj.active[0] != kNullPkt || inj.active[1] != kNullPkt;
         if (backlog == 0 && !active)
             continue;
         os << (sep ? "," : "") << "{\"endpoint\":" << ep
@@ -812,9 +912,7 @@ MeshNetwork::idle() const
     if (!retxQueue_.empty())
         return false;
     for (const auto &inj : injectors_) {
-        if (inj.active[0] || inj.active[1])
-            return false;
-        if (!inj.lanes[0].queue.empty() || !inj.lanes[1].queue.empty())
+        if (!inj.quiet())
             return false;
     }
     for (const auto &router : routers_)

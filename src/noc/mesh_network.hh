@@ -84,6 +84,7 @@ class MeshNetwork : public Network
 
     bool send(Packet &&pkt) override;
     bool canAccept(NodeId src, PacketClass cls) const override;
+    int sendBudget(NodeId src, PacketClass cls) const override;
     void tick(Cycle now) override;
     bool idle() const override;
     void registerStats(const obs::Scope &scope) const override;
@@ -128,6 +129,10 @@ class MeshNetwork : public Network
     struct Router;
     struct Flit;
 
+    /** Index into pkts_; flits and injectors hold these, not pointers. */
+    using PacketHandle = common::SlotPool<Packet>::Handle;
+    static constexpr PacketHandle kNullPkt = common::SlotPool<Packet>::kNull;
+
     struct InjectLane
     {
         std::deque<Packet> queue;
@@ -138,16 +143,23 @@ class MeshNetwork : public Network
     {
         InjectLane lanes[2];            // per class
         // In-progress packet per class: remaining flits to inject.
-        std::shared_ptr<Packet> active[2];
+        PacketHandle active[2] = {kNullPkt, kNullPkt};
         int remaining[2] = {0, 0};
         int vc[2] = {-1, -1};           // VC chosen for the active packet
         int rr_class = 0;               // alternate between classes
+
+        bool
+        quiet() const
+        {
+            return active[0] == kNullPkt && active[1] == kNullPkt
+                && lanes[0].queue.empty() && lanes[1].queue.empty();
+        }
     };
 
     struct PendingDelivery
     {
         Cycle due;
-        std::shared_ptr<Packet> pkt;
+        PacketHandle pkt;
     };
 
     /** A NACKed packet waiting out its round trip before re-injection. */
@@ -178,9 +190,10 @@ class MeshNetwork : public Network
     std::vector<std::int16_t> nextHop_;
     /** Per-router, per-direction link traversal counts (heatmap). */
     std::vector<std::array<Counter, 4>> linkFlits_;
-    // The packet pool must outlive the flit buffers / pending list that
-    // hold shared_ptrs allocated from it, hence declared first.
-    common::BlockPool pktPool_;
+    // In-flight packets, addressed by 32-bit handle from flits, the
+    // injectors' active slots, and the pending-delivery list. The pool
+    // recycles slots, so steady-state traffic never allocates.
+    common::SlotPool<Packet> pkts_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<Injector> injectors_;       // per endpoint
     std::vector<PendingDelivery> pending_;  // tail-ejected packets

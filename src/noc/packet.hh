@@ -12,8 +12,10 @@
 #ifndef FSOI_NOC_PACKET_HH
 #define FSOI_NOC_PACKET_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <cstring>
+#include <type_traits>
 
 #include "common/types.hh"
 
@@ -58,10 +60,15 @@ struct Packet
     PacketKind kind = PacketKind::Control;
 
     /**
-     * Opaque payload owned by the protocol layer (the network never
-     * inspects it).
+     * Opaque payload bytes (the network never inspects them). The
+     * payload is stored inline so a Packet is trivially copyable:
+     * no allocation, no shared_ptr refcount traffic, and flit/slot
+     * state can hold packets in flat index-addressed pools. Only
+     * trivially-copyable protocol structs (coherence::Message) ride
+     * here; setPayload/payloadAs round-trip them via memcpy.
      */
-    std::shared_ptr<void> payload;
+    static constexpr std::size_t kMaxPayloadBytes = 56;
+    alignas(8) std::byte payload[kMaxPayloadBytes];
 
     // --- Timestamps filled in by the network ---
     Cycle created = kNoCycle;     //!< handed to Network::send()
@@ -100,26 +107,51 @@ struct Packet
         return delivered - final_tx;
     }
 
+    /** Store a trivially-copyable payload struct inline. */
+    template <typename T>
+    void
+    setPayload(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) <= kMaxPayloadBytes);
+        std::memcpy(payload, &value, sizeof(T));
+    }
+
     /** Convenience for payload retrieval. */
     template <typename T>
-    std::shared_ptr<T>
+    T
     payloadAs() const
     {
-        return std::static_pointer_cast<T>(payload);
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(sizeof(T) <= kMaxPayloadBytes);
+        T out;
+        std::memcpy(&out, payload, sizeof(T));
+        return out;
     }
 };
 
+static_assert(std::is_trivially_copyable_v<Packet>);
+
 /** Build a packet (id/timestamps are assigned by the network). */
 inline Packet
-makePacket(NodeId src, NodeId dst, PacketClass cls, PacketKind kind,
-           std::shared_ptr<void> payload = nullptr)
+makePacket(NodeId src, NodeId dst, PacketClass cls, PacketKind kind)
 {
     Packet pkt;
     pkt.src = src;
     pkt.dst = dst;
     pkt.cls = cls;
     pkt.kind = kind;
-    pkt.payload = std::move(payload);
+    return pkt;
+}
+
+/** Build a packet carrying an inline payload struct. */
+template <typename T>
+inline Packet
+makePacket(NodeId src, NodeId dst, PacketClass cls, PacketKind kind,
+           const T &payload)
+{
+    Packet pkt = makePacket(src, dst, cls, kind);
+    pkt.setPayload(payload);
     return pkt;
 }
 

@@ -43,6 +43,13 @@ parseCliOptions(int &argc, char **argv)
             opts.seed = std::strtoull(v4, &end, 0);
             if (end == v4 || *end != '\0' || opts.seed == 0)
                 fatal("--seed wants a positive integer, got '%s'", v4);
+        } else if (const char *v5 = matchValue(arg, "--threads")) {
+            char *end = nullptr;
+            const long n = std::strtol(v5, &end, 0);
+            if (end == v5 || *end != '\0' || n < 0)
+                fatal("--threads wants a non-negative integer, got '%s'",
+                      v5);
+            opts.threads = static_cast<int>(n);
         } else if (std::strcmp(arg, "--stats") == 0) {
             opts.stats_text = true;
         } else {

@@ -13,6 +13,9 @@
  *                         RNG stream (cores, FSOI backoff, fault
  *                         schedules) follows from it, so runs are
  *                         reproducible from the command line
+ *   --threads=N           intra-run tick-engine worker threads
+ *                         (SystemConfig::threads); 0 = one per host
+ *                         CPU. Results are bit-identical at any N.
  *
  * Tracing is configured through the environment (FSOI_TRACE /
  * FSOI_TRACE_FILE), not argv, so it works identically under ctest,
@@ -36,6 +39,7 @@ struct CliOptions
     Cycle stats_interval = 0; //!< 0 = end-of-run dump only
     bool stats_text = false;
     std::uint64_t seed = 0;   //!< 0 = keep the config's default seed
+    int threads = 1;          //!< tick-engine threads; 0 = host CPUs
 
     bool any() const
     { return stats_text || !stats_json.empty() || !stats_csv.empty(); }

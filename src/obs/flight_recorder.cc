@@ -150,7 +150,14 @@ FlightRecorder::beginTransaction(FlightEventKind kind, Cycle cycle,
 {
     if (!enabled())
         return;
-    record(kind, cycle, node, kInvalidNode, line, detail);
+    if (locked_) {
+        std::lock_guard<std::mutex> guard(mutex_);
+        recordUnlocked(kind, cycle, node, kInvalidNode, line, detail);
+        tableInsert(packKey(keyClass(kind), node, line),
+                    Inflight{cycle, detail});
+        return;
+    }
+    recordUnlocked(kind, cycle, node, kInvalidNode, line, detail);
     tableInsert(packKey(keyClass(kind), node, line),
                 Inflight{cycle, detail});
 }
@@ -162,7 +169,13 @@ FlightRecorder::endTransaction(FlightEventKind kind, Cycle cycle,
 {
     if (!enabled())
         return;
-    record(kind, cycle, node, kInvalidNode, line, detail);
+    if (locked_) {
+        std::lock_guard<std::mutex> guard(mutex_);
+        recordUnlocked(kind, cycle, node, kInvalidNode, line, detail);
+        tableErase(packKey(keyClass(kind), node, line));
+        return;
+    }
+    recordUnlocked(kind, cycle, node, kInvalidNode, line, detail);
     tableErase(packKey(keyClass(kind), node, line));
 }
 

@@ -15,6 +15,7 @@ tickPhaseName(TickPhase phase)
       case TickPhase::Directory: return "directory";
       case TickPhase::L1: return "l1";
       case TickPhase::Core: return "core";
+      case TickPhase::Components: return "components";
       case TickPhase::kCount: break;
     }
     return "?";

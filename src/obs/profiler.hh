@@ -41,6 +41,13 @@ enum class TickPhase : std::uint8_t
     Directory,  //!< directory/L2 slice ticks
     L1,         //!< private L1 ticks
     Core,       //!< core ticks
+    /**
+     * Threaded runs fork all component phases (memory, directory, L1,
+     * core) to the shard workers between two barriers; the serial
+     * per-phase brackets are meaningless there, so the whole fork/join
+     * region is charged to this one phase instead.
+     */
+    Components,
     kCount,
 };
 

@@ -3,10 +3,14 @@
 #include <cstdlib>
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <bit>
+#include <future>
 
 #include "analytic/backoff_model.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "obs/crash.hh"
 #include "obs/watchdog.hh"
@@ -17,6 +21,38 @@ using coherence::Message;
 using coherence::MsgType;
 using noc::Packet;
 using noc::PacketClass;
+
+namespace {
+
+/** Set component @p idx's bit in a shard-owned wake bitmap. */
+inline void
+setWakeBit(std::vector<std::uint64_t> &words, int idx)
+{
+    words[static_cast<std::size_t>(idx) >> 6] |= 1ull << (idx & 63);
+}
+
+/**
+ * Visit every set bit (ascending), calling @p fn with the component
+ * index; a false return clears the bit (the component went inactive).
+ * fn never touches the bitmap it is iterating — component ticks wake
+ * only *other* component kinds — so in-place clearing is safe.
+ */
+template <typename Fn>
+inline void
+forEachWake(std::vector<std::uint64_t> &words, Fn &&fn)
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        while (bits) {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            if (!fn(static_cast<int>(w << 6) + b))
+                words[w] &= ~(1ull << b);
+        }
+    }
+}
+
+} // namespace
 
 const char *
 netKindName(NetKind kind)
@@ -58,15 +94,21 @@ class System::LocalTransport : public coherence::Transport
     trySend(NodeId src, NodeId dst, const Message &msg) override
     {
         if (src == dst) {
-            sys_.localQueue_.push_back(LocalMsg{
-                sys_.now_
-                    + static_cast<Cycle>(sys_.config_.local_hop_latency),
-                dst, msg});
+            // Same-node messages stay on the sender's shard, so this
+            // queue is shard-private at any thread count.
+            sys_.shards_[sys_.nodeShard_[src]].localQueue.push_back(
+                LocalMsg{
+                    sys_.now_
+                        + static_cast<Cycle>(
+                            sys_.config_.local_hop_latency),
+                    dst, msg});
             recordSend(src, dst, msg);
             return true;
         }
         const PacketClass cls = coherence::isDataMessage(msg.type)
             ? PacketClass::Data : PacketClass::Meta;
+        if (sys_.staging_)
+            return stageSend(src, dst, cls, msg);
         if (!sys_.network_->canAccept(src, cls)) {
             FSOI_TRACE_POINT(TraceCat::Sim, 3, "send_blocked",
                              sys_.now_, src, {"line", msg.line},
@@ -75,8 +117,7 @@ class System::LocalTransport : public coherence::Transport
             return false;
         }
         Packet pkt = noc::makePacket(
-            src, dst, cls, coherence::packetKindOf(msg.type),
-            common::makePooled<Message>(sys_.msgPool_, msg));
+            src, dst, cls, coherence::packetKindOf(msg.type), msg);
         if (!sys_.network_->send(std::move(pkt)))
             return false;
         recordSend(src, dst, msg);
@@ -84,6 +125,41 @@ class System::LocalTransport : public coherence::Transport
     }
 
   private:
+    /**
+     * Threaded component phase: capture the send on the source's
+     * shard instead of touching the (serial-only) network. Admission
+     * is checked against the network's remaining send budget so a
+     * shard sees exactly the backpressure the serial loop would see
+     * at its send's position in the canonical order. Packets the mesh
+     * would drop as unroutable never occupy queue space in the serial
+     * loop either, so they are staged without consuming budget; the
+     * merge-time send() performs the actual drop + count.
+     */
+    bool
+    stageSend(NodeId src, NodeId dst, PacketClass cls,
+              const Message &msg)
+    {
+        const std::size_t slot = static_cast<std::size_t>(src) * 2
+            + static_cast<int>(cls);
+        const int budget = sys_.network_->sendBudget(src, cls);
+        if (static_cast<int>(sys_.stagedCount_[slot]) >= budget) {
+            FSOI_TRACE_POINT(TraceCat::Sim, 3, "send_blocked",
+                             sys_.now_, src, {"line", msg.line},
+                             {"type",
+                              static_cast<std::uint64_t>(msg.type)});
+            return false;
+        }
+        const bool drop = sys_.meshNet_ && sys_.fault_
+            && !sys_.meshNet_->reachable(src, dst);
+        if (!drop)
+            ++sys_.stagedCount_[slot];
+        Shard &shard = sys_.shards_[sys_.nodeShard_[src]];
+        shard.staged[shard.bucket].push_back(
+            StagedSend{src, dst, cls, msg});
+        recordSend(src, dst, msg);
+        return true;
+    }
+
     void
     recordSend(NodeId src, NodeId dst, const Message &msg)
     {
@@ -194,6 +270,42 @@ System::System(const SystemConfig &config)
         const NodeId node = static_cast<NodeId>(config_.num_cores + m);
         memctls_.push_back(std::make_unique<memory::MemoryController>(
             node, config_.mem, *transport_));
+    }
+
+    // Spatial partition for the tick engine: contiguous tile and
+    // memory-controller ranges per shard, balanced to within one.
+    // threads=1 degenerates to a single shard on the main thread.
+    threads_ = std::max(
+        1, std::min(common::resolveJobs(config_.threads),
+                    config_.num_cores));
+    const int num_tiles = config_.num_cores;
+    const int num_mems = config_.num_memctls;
+    const int tile_words = (num_tiles + 63) / 64;
+    const int mem_words = (num_mems + 63) / 64;
+    nodeShard_.assign(
+        static_cast<std::size_t>(layout_.numEndpoints()), 0);
+    shards_.resize(static_cast<std::size_t>(threads_));
+    for (int s = 0; s < threads_; ++s) {
+        Shard &shard = shards_[static_cast<std::size_t>(s)];
+        shard.tile_begin = s * num_tiles / threads_;
+        shard.tile_end = (s + 1) * num_tiles / threads_;
+        shard.mem_begin = s * num_mems / threads_;
+        shard.mem_end = (s + 1) * num_mems / threads_;
+        shard.memWake.assign(static_cast<std::size_t>(mem_words), 0);
+        shard.dirWake.assign(static_cast<std::size_t>(tile_words), 0);
+        shard.l1Wake.assign(static_cast<std::size_t>(tile_words), 0);
+        for (int n = shard.tile_begin; n < shard.tile_end; ++n)
+            nodeShard_[static_cast<std::size_t>(n)] = s;
+        for (int m = shard.mem_begin; m < shard.mem_end; ++m)
+            nodeShard_[static_cast<std::size_t>(num_tiles + m)] = s;
+    }
+    stagedCount_.assign(
+        static_cast<std::size_t>(layout_.numEndpoints()) * 2, 0);
+    if (threads_ > 1) {
+        // Shared-by-design structures get their internal locks; both
+        // are off the determinism-relevant path (see their headers).
+        funcMem_.enableLocking(true);
+        flightRec_.enableLocking(true);
     }
 
     wireNetworkHandlers();
@@ -344,8 +456,18 @@ System::routeMessage(NodeId dst, const Message &msg)
                           msg.requester, msg.line,
                           static_cast<std::uint8_t>(msg.type));
     }
+    // Deliveries happen before the target's own phase in the cycle,
+    // when the old tick-everything loop had last stamped component
+    // clocks at now-1; sync the sleeping target to that same cycle so
+    // handleMessage sees the clock it always saw. The wake bit queues
+    // the target for ticking from here on (until it idles again).
+    const Cycle sync = now_ ? now_ - 1 : 0;
+    Shard &shard = shards_[nodeShard_[dst]];
     if (static_cast<int>(dst) >= config_.num_cores) {
-        memctls_[dst - config_.num_cores]->handleMessage(msg);
+        const int m = static_cast<int>(dst) - config_.num_cores;
+        memctls_[m]->syncClock(sync);
+        memctls_[m]->handleMessage(msg);
+        setWakeBit(shard.memWake, m);
         return;
     }
     switch (msg.type) {
@@ -365,7 +487,9 @@ System::routeMessage(NodeId dst, const Message &msg)
       case MsgType::DwgAck:
       case MsgType::DwgAckData:
       case MsgType::MemReply:
+        dirs_[dst]->syncClock(sync);
         dirs_[dst]->handleMessage(msg);
+        setWakeBit(shard.dirWake, static_cast<int>(dst));
         return;
       case MsgType::DataS:
       case MsgType::DataE:
@@ -374,7 +498,9 @@ System::routeMessage(NodeId dst, const Message &msg)
       case MsgType::Inv:
       case MsgType::Dwg:
       case MsgType::Nack:
+        l1s_[dst]->syncClock(sync);
         l1s_[dst]->handleMessage(msg);
+        setWakeBit(shard.l1Wake, static_cast<int>(dst));
         return;
       default:
         panic("unroutable message %s to node %u",
@@ -388,7 +514,7 @@ System::wireNetworkHandlers()
     for (int ep = 0; ep < layout_.numEndpoints(); ++ep) {
         const NodeId node = static_cast<NodeId>(ep);
         network_->setHandler(node, [this, node](Packet &pkt) {
-            routeMessage(node, *pkt.payloadAs<Message>());
+            routeMessage(node, pkt.payloadAs<Message>());
         });
     }
     if (!fsoiNet_)
@@ -398,7 +524,12 @@ System::wireNetworkHandlers()
         // Confirmations go back to the *sender*; only the directory
         // cares (per-line gating + confirmation-as-ack).
         fsoiNet_->setConfirmHandler(node, [this, node](const Packet &pkt) {
-            dirs_[node]->onConfirm(*pkt.payloadAs<Message>());
+            // Same clock contract as routeMessage: confirmations land
+            // during the network tick, before the directory's phase.
+            dirs_[node]->syncClock(now_ ? now_ - 1 : 0);
+            dirs_[node]->onConfirm(pkt.payloadAs<Message>());
+            setWakeBit(shards_[nodeShard_[node]].dirWake,
+                       static_cast<int>(node));
         });
         fsoiNet_->setControlBitHandler(
             node, [this, node](NodeId, std::uint64_t tag) {
@@ -406,6 +537,11 @@ System::wireNetworkHandlers()
             });
         dirs_[n]->setControlBitSender(
             [this, node](NodeId dst, std::uint64_t tag) {
+                if (staging_) {
+                    shards_[nodeShard_[node]].stagedBits.push_back(
+                        StagedBit{node, dst, tag});
+                    return;
+                }
                 fsoiNet_->sendControlBit(node, dst, tag);
             });
     }
@@ -436,8 +572,11 @@ System::bindStream(NodeId core,
 bool
 System::quiescent() const
 {
-    if (!network_->idle() || !localQueue_.empty())
+    if (!network_->idle())
         return false;
+    for (const auto &shard : shards_)
+        if (!shard.localQueue.empty())
+            return false;
     for (const auto &l1 : l1s_)
         if (!l1->quiescent())
             return false;
@@ -489,6 +628,186 @@ System::run()
             * static_cast<Cycle>(queue_depth);
     }
     obs::Watchdog watchdog(wd_config);
+    initShardRuntime();
+    const bool completed = threads_ > 1 ? runParallel(watchdog)
+                                        : runSerial(watchdog);
+
+    if (!completed && faultDiagnosis_.empty())
+        warn("run hit max_cycles=%llu before completing",
+             static_cast<unsigned long long>(config_.max_cycles));
+    if (sampler_)
+        sampler_->finish(now_);
+    return collectResult(now_, completed);
+}
+
+void
+System::initShardRuntime()
+{
+    for (auto &shard : shards_) {
+        std::fill(shard.memWake.begin(), shard.memWake.end(), 0);
+        std::fill(shard.dirWake.begin(), shard.dirWake.end(), 0);
+        std::fill(shard.l1Wake.begin(), shard.l1Wake.end(), 0);
+        shard.runnableCores.clear();
+        for (int n = shard.tile_begin; n < shard.tile_end; ++n) {
+            if (!cores_[n]->done())
+                shard.runnableCores.push_back(n);
+        }
+        shard.localQueue.clear();
+        for (auto &bucket : shard.staged)
+            bucket.clear();
+        shard.stagedBits.clear();
+        shard.bucket = 0;
+    }
+    std::fill(stagedCount_.begin(), stagedCount_.end(), 0);
+    staging_ = false;
+}
+
+/**
+ * All component phases of one shard for cycle now_, in the serial
+ * loop's phase order. Wake/event scheduling replaces the old
+ * scan-everything active checks: only components with a set wake bit
+ * (woken by a delivery, a local message, or their own lingering work)
+ * are visited at all, so a quiescent tile costs zero — not even a
+ * clock refresh, which deliveries re-establish on demand (see
+ * routeMessage). Each substitution is exact: the skipped tick's sole
+ * side effect was the now_ store, and the skipped syncClock only
+ * mattered to the component's next handleMessage/tick, both of which
+ * now sync first.
+ */
+void
+System::tickShard(Shard &shard, obs::PhaseProfiler *prof)
+{
+    shard.bucket = 0;
+    auto &queue = shard.localQueue;
+    while (!queue.empty() && queue.front().due <= now_) {
+        LocalMsg msg = std::move(queue.front());
+        queue.pop_front();
+        routeMessage(msg.dst, msg.msg);
+    }
+    if (prof)
+        prof->endPhase(obs::TickPhase::LocalRoute);
+
+    shard.bucket = 1;
+    forEachWake(shard.memWake, [this](int m) {
+        memctls_[m]->tick(now_);
+        return memctls_[m]->active();
+    });
+    if (prof)
+        prof->endPhase(obs::TickPhase::Memory);
+
+    shard.bucket = 2;
+    forEachWake(shard.dirWake, [this](int n) {
+        dirs_[n]->tick(now_);
+        return dirs_[n]->active();
+    });
+    if (prof)
+        prof->endPhase(obs::TickPhase::Directory);
+
+    shard.bucket = 3;
+    forEachWake(shard.l1Wake, [this](int n) {
+        l1s_[n]->tick(now_);
+        return l1s_[n]->active();
+    });
+    if (prof)
+        prof->endPhase(obs::TickPhase::L1);
+
+    // Cores tick until done (order-preserving compaction drops the
+    // finished ones). A core drives its L1 synchronously, so the L1's
+    // clock must read now_ during the core's tick, and any work the
+    // access left behind queues the L1 for its next phase.
+    shard.bucket = 4;
+    auto &runnable = shard.runnableCores;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+        const int n = runnable[i];
+        l1s_[n]->syncClock(now_);
+        cores_[n]->tick(now_);
+        if (l1s_[n]->active())
+            setWakeBit(shard.l1Wake, n);
+        if (!cores_[n]->done())
+            runnable[keep++] = n;
+    }
+    runnable.resize(keep);
+    if (prof)
+        prof->endPhase(obs::TickPhase::Core);
+}
+
+/**
+ * Replay the cycle's staged cross-shard traffic through the (serial)
+ * network in canonical order: send bucket (the phase that issued the
+ * send), then shard (ascending = component-index ascending, because
+ * shards own contiguous ranges), then program order within the shard.
+ * That is exactly the order the serial loop issues the same sends, so
+ * packet ids, timestamps and queue contents match bit for bit.
+ */
+void
+System::mergeStaged()
+{
+    for (int bucket = 0; bucket < kNumSendBuckets; ++bucket) {
+        for (auto &shard : shards_) {
+            for (const auto &s : shard.staged[bucket]) {
+                Packet pkt = noc::makePacket(
+                    s.src, s.dst, s.cls,
+                    coherence::packetKindOf(s.msg.type), s.msg);
+                const bool sent = network_->send(std::move(pkt));
+                FSOI_ASSERT(sent, "staged send rejected at merge");
+            }
+            shard.staged[bucket].clear();
+        }
+    }
+    for (auto &shard : shards_) {
+        for (const auto &bit : shard.stagedBits)
+            fsoiNet_->sendControlBit(bit.src, bit.dst, bit.tag);
+        shard.stagedBits.clear();
+    }
+    std::fill(stagedCount_.begin(), stagedCount_.end(), 0);
+}
+
+bool
+System::cycleEpilogue(obs::Watchdog &watchdog,
+                      const Cycle completion_mask,
+                      const Cycle progress_mask, bool &completed)
+{
+    if (sampler_ && now_ >= sampler_->nextDue())
+        sampler_->sample(now_);
+
+    if ((now_ & completion_mask) != 0)
+        return false;
+
+    bool all_done = true;
+    for (const auto &shard : shards_)
+        all_done &= shard.runnableCores.empty();
+    if (all_done && quiescent()) {
+        completed = true;
+        return true;
+    }
+
+    if ((now_ & progress_mask) == 0) {
+        std::uint64_t instr = 0;
+        for (const auto &core : cores_)
+            instr += core->stats().instructions.value();
+        // The network feed counts deliveries *and* attempts, so a
+        // retry/NACK storm that never delivers still reads as
+        // network motion — that is exactly the livelock signature.
+        const auto &net = network_->stats();
+        const std::uint64_t net_events = net.deliveredTotal()
+            + net.attempts(PacketClass::Meta)
+            + net.attempts(PacketClass::Data);
+        const obs::Watchdog::Report report =
+            watchdog.check(now_, instr, net_events);
+        if (report.verdict != obs::WatchdogVerdict::Ok) {
+            // Panics without fault injection; with it, records the
+            // diagnosis and lets the run end as a diagnosed fault.
+            onWatchdogTrip(report);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+System::runSerial(obs::Watchdog &watchdog)
+{
     bool completed = false;
     const Cycle completion_mask = config_.completion_check_stride - 1;
     const Cycle progress_mask = config_.progress_check_stride - 1;
@@ -505,94 +824,85 @@ System::run()
         if (prof)
             profiler_.endPhase(obs::TickPhase::Network);
 
-        while (!localQueue_.empty() && localQueue_.front().due <= now_) {
-            LocalMsg msg = std::move(localQueue_.front());
-            localQueue_.pop_front();
-            routeMessage(msg.dst, msg.msg);
-        }
+        tickShard(shards_[0], prof ? &profiler_ : nullptr);
+
+        if (cycleEpilogue(watchdog, completion_mask, progress_mask,
+                          completed))
+            break;
+    }
+    return completed;
+}
+
+/**
+ * The threaded loop: the interconnect ticks serially on the main
+ * thread (it is one tightly coupled machine), then every shard's
+ * component phases run concurrently between two barriers with
+ * cross-shard sends staged per shard, then the main thread merges the
+ * staged traffic in canonical order. Workers are persistent pool
+ * tasks parked on the fork barrier, so per-cycle cost is two barrier
+ * crossings and no thread churn.
+ */
+bool
+System::runParallel(obs::Watchdog &watchdog)
+{
+    const int num_shards = threads_;
+    std::barrier<> forkBarrier(num_shards);
+    std::barrier<> joinBarrier(num_shards);
+    std::atomic<bool> stop{false};
+    common::ThreadPool pool(num_shards - 1);
+    std::vector<std::future<void>> workers;
+    workers.reserve(static_cast<std::size_t>(num_shards - 1));
+    for (int s = 1; s < num_shards; ++s) {
+        workers.push_back(
+            pool.submit([this, s, &forkBarrier, &joinBarrier, &stop] {
+                Shard &shard = shards_[static_cast<std::size_t>(s)];
+                for (;;) {
+                    forkBarrier.arrive_and_wait();
+                    if (stop.load(std::memory_order_relaxed))
+                        return;
+                    tickShard(shard, nullptr);
+                    joinBarrier.arrive_and_wait();
+                }
+            }));
+    }
+
+    bool completed = false;
+    const Cycle completion_mask = config_.completion_check_stride - 1;
+    const Cycle progress_mask = config_.progress_check_stride - 1;
+
+    for (now_ = 0; now_ < config_.max_cycles; ++now_) {
+        const bool prof = profiler_.due(now_);
+        if (prof)
+            profiler_.beginCycle();
+
+        network_->tick(now_);
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Network);
+
+        // Fork/join region: staging_ flips only here, so delivery-time
+        // sends during the network tick above stay on the direct path.
+        staging_ = true;
+        forkBarrier.arrive_and_wait();
+        tickShard(shards_[0], nullptr);
+        joinBarrier.arrive_and_wait();
+        staging_ = false;
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Components);
+
+        mergeStaged();
         if (prof)
             profiler_.endPhase(obs::TickPhase::LocalRoute);
 
-        // Active-set scheduling: a component whose tick would be a
-        // no-op only gets its clock refreshed. Each branch is exact —
-        // the skipped tick's sole side effect was the now_ store (see
-        // the components' active() contracts), so stats, timing and
-        // message order match the tick-everything loop bit for bit.
-        for (auto &mem : memctls_) {
-            if (mem->active())
-                mem->tick(now_);
-            else
-                mem->syncClock(now_);
-        }
-        if (prof)
-            profiler_.endPhase(obs::TickPhase::Memory);
-        for (auto &dir : dirs_) {
-            if (dir->active())
-                dir->tick(now_);
-            else
-                dir->syncClock(now_);
-        }
-        if (prof)
-            profiler_.endPhase(obs::TickPhase::Directory);
-        for (auto &l1 : l1s_) {
-            if (l1->active())
-                l1->tick(now_);
-            else
-                l1->syncClock(now_);
-        }
-        if (prof)
-            profiler_.endPhase(obs::TickPhase::L1);
-        for (auto &core : cores_) {
-            if (!core->done())
-                core->tick(now_);
-            else
-                core->syncClock(now_);
-        }
-        if (prof)
-            profiler_.endPhase(obs::TickPhase::Core);
-
-        if (sampler_ && now_ >= sampler_->nextDue())
-            sampler_->sample(now_);
-
-        if ((now_ & completion_mask) != 0)
-            continue;
-
-        bool all_done = true;
-        for (const auto &core : cores_)
-            all_done &= core->done();
-        if (all_done && quiescent()) {
-            completed = true;
+        if (cycleEpilogue(watchdog, completion_mask, progress_mask,
+                          completed))
             break;
-        }
-
-        if ((now_ & progress_mask) == 0) {
-            std::uint64_t instr = 0;
-            for (const auto &core : cores_)
-                instr += core->stats().instructions.value();
-            // The network feed counts deliveries *and* attempts, so a
-            // retry/NACK storm that never delivers still reads as
-            // network motion — that is exactly the livelock signature.
-            const auto &net = network_->stats();
-            const std::uint64_t net_events = net.deliveredTotal()
-                + net.attempts(PacketClass::Meta)
-                + net.attempts(PacketClass::Data);
-            const obs::Watchdog::Report report =
-                watchdog.check(now_, instr, net_events);
-            if (report.verdict != obs::WatchdogVerdict::Ok) {
-                // Panics without fault injection; with it, records the
-                // diagnosis and lets the run end as a diagnosed fault.
-                onWatchdogTrip(report);
-                break;
-            }
-        }
     }
 
-    if (!completed && faultDiagnosis_.empty())
-        warn("run hit max_cycles=%llu before completing",
-             static_cast<unsigned long long>(config_.max_cycles));
-    if (sampler_)
-        sampler_->finish(now_);
-    return collectResult(now_, completed);
+    stop.store(true, std::memory_order_relaxed);
+    forkBarrier.arrive_and_wait();
+    for (auto &worker : workers)
+        worker.get();
+    return completed;
 }
 
 /**

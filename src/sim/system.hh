@@ -14,6 +14,8 @@
 #ifndef FSOI_SIM_SYSTEM_HH
 #define FSOI_SIM_SYSTEM_HH
 
+#include <array>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -80,6 +82,19 @@ struct SystemConfig
     std::uint64_t seed = 1;
     Cycle max_cycles = 100'000'000;
     int local_hop_latency = 1; //!< L1 <-> same-tile directory
+
+    /**
+     * Intra-run worker threads for the parallel tick engine. The chip
+     * is partitioned into contiguous tile + memory-controller ranges
+     * (one shard per thread); each cycle the component phases fork to
+     * the shards between two barriers while the interconnect itself
+     * stays serial. Cross-shard sends are staged per shard and merged
+     * in canonical (phase, shard, program) order — which equals the
+     * serial loop's send order — so results are bit-identical at any
+     * thread count. 1 = the serial loop (no staging, no barriers);
+     * 0 = hardware concurrency. Clamped to [1, num_cores].
+     */
+    int threads = 1;
 
     /**
      * run() checks for completion (all cores done + system drained)
@@ -235,7 +250,74 @@ class System
         coherence::Message msg;
     };
 
+    /**
+     * A cross-shard send captured during a threaded component phase;
+     * replayed through the network at the end-of-cycle merge.
+     */
+    struct StagedSend
+    {
+        NodeId src;
+        NodeId dst;
+        noc::PacketClass cls;
+        coherence::Message msg;
+    };
+
+    /** A directory's FSOI control-bit broadcast, staged like a send. */
+    struct StagedBit
+    {
+        NodeId src;
+        NodeId dst;
+        std::uint64_t tag;
+    };
+
+    /**
+     * Staged sends are bucketed by the phase that issued them so the
+     * merge can replay them in the serial loop's order: local-queue
+     * drain, then memory controllers, directories, L1s, cores.
+     */
+    static constexpr int kNumSendBuckets = 5;
+
+    /**
+     * One spatial partition of the chip: a contiguous tile range
+     * [tile_begin, tile_end) plus a contiguous memory-controller range
+     * [mem_begin, mem_end), with all per-shard scheduler state. Shard
+     * 0 always exists and runs on the main thread; shards 1.. run on
+     * pool workers between the cycle barriers.
+     *
+     * The wake bitmaps index components by their *global* number but
+     * each shard owns a full-size vector of which only its own range
+     * is ever set — sharing one vector would race on word boundaries.
+     */
+    struct Shard
+    {
+        int tile_begin = 0;
+        int tile_end = 0;
+        int mem_begin = 0;
+        int mem_end = 0;
+        std::vector<std::uint64_t> memWake;
+        std::vector<std::uint64_t> dirWake;
+        std::vector<std::uint64_t> l1Wake;
+        std::vector<int> runnableCores; //!< not-done cores, ascending
+        std::deque<LocalMsg> localQueue;
+        std::array<std::vector<StagedSend>, kNumSendBuckets> staged;
+        std::vector<StagedBit> stagedBits;
+        int bucket = 0; //!< send bucket for the phase now ticking
+    };
+
     void routeMessage(NodeId dst, const coherence::Message &msg);
+    /** Run every component phase of one shard for cycle now_. @p prof
+     *  non-null (serial loop only) brackets the phases. */
+    void tickShard(Shard &shard, obs::PhaseProfiler *prof);
+    /** Replay staged sends + control bits in canonical serial order. */
+    void mergeStaged();
+    /** Reset wake bits, runnable cores and staging state for run(). */
+    void initShardRuntime();
+    bool runSerial(obs::Watchdog &watchdog);
+    bool runParallel(obs::Watchdog &watchdog);
+    /** Sampler + completion + watchdog tail of one cycle; true = stop
+     *  the run loop. Sets @p completed on clean completion. */
+    bool cycleEpilogue(obs::Watchdog &watchdog, Cycle completion_mask,
+                       Cycle progress_mask, bool &completed);
     /**
      * With fault injection active: write the post-mortem, record the
      * diagnosis in faultDiagnosis_ and return (the run ends cleanly).
@@ -251,10 +333,6 @@ class System
     noc::MeshLayout layout_;
     coherence::FunctionalMemory funcMem_;
 
-    // Recycles the per-packet Message payloads; must outlive the
-    // network below, whose in-flight packets hold pointers into it.
-    common::BlockPool msgPool_;
-
     // The injector must outlive the networks holding views of it.
     std::unique_ptr<fault::FaultInjector> fault_;
     std::string faultDiagnosis_;
@@ -269,7 +347,20 @@ class System
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<memory::MemoryController>> memctls_;
 
-    std::deque<LocalMsg> localQueue_;
+    int threads_ = 1;               //!< resolved worker count
+    std::vector<Shard> shards_;     //!< threads_ entries; 0 = main
+    std::vector<int> nodeShard_;    //!< endpoint -> owning shard
+    /**
+     * Per-source, per-class count of sends staged this cycle, checked
+     * against Network::sendBudget() so a staging shard sees the same
+     * backpressure the serial loop sees at send time. Indexed
+     * [src * 2 + class]; entries are only written by the source's own
+     * shard during a phase and zeroed at the merge.
+     */
+    std::vector<std::uint16_t> stagedCount_;
+    /** True only inside the threaded fork/join region: LocalTransport
+     *  stages cross-node sends instead of calling the network. */
+    bool staging_ = false;
     Cycle now_ = 0;
 
     obs::StatRegistry registry_;

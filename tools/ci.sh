@@ -67,6 +67,19 @@ cmake -B "$sanbuild" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "$sanbuild" -j "$(nproc 2>/dev/null || echo 2)"
 ctest --test-dir "$sanbuild" --output-on-failure
 
+echo "== sanitizer leg (TSan, threaded tick engine) =="
+# The determinism suite again under ThreadSanitizer, which exercises
+# the intra-run parallel tick engine (shard workers, staged-send
+# merge, wake bitmaps) at threads={2,4} x jobs={1,4}. Scoped to that
+# suite: TSan slows runs ~10x and the threading surface is exactly
+# what these tests drive.
+tsanbuild="$build-tsan"
+cmake -B "$tsanbuild" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFSOI_SANITIZE=thread
+cmake --build "$tsanbuild" -j "$(nproc 2>/dev/null || echo 2)" \
+    --target test_determinism
+ctest --test-dir "$tsanbuild" -R Determinism --output-on-failure
+
 echo "== perf gate =="
 # Warmup pass (discarded): absorbs post-build CPU-quota throttling and
 # cold caches so the gated measurement reflects steady state. The
