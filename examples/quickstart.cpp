@@ -10,6 +10,11 @@
  * `--stats-json=run.jsonl --stats-interval=10000` emits a per-epoch
  * time series for the FSOI run, and `FSOI_TRACE=fsoi:2` in the
  * environment writes a Chrome-trace event log.
+ *
+ * The checkpoint knobs also apply to the FSOI run (the instrumented
+ * run of interest): `--checkpoint=FILE --checkpoint-every=N` writes a
+ * periodic hash-verified snapshot, `--restore=FILE` resumes from one
+ * and finishes bit-identically to the uninterrupted run.
  */
 
 #include <cstdio>
@@ -37,6 +42,10 @@ runOnce(int cores, sim::NetKind kind, const workload::AppProfile &app,
     system.loadApp(app);
     if (!opts)
         return system.run();
+    if (!opts->restore.empty())
+        system.restoreCheckpoint(opts->restore);
+    if (!opts->checkpoint.empty())
+        system.setCheckpoint(opts->checkpoint, opts->checkpoint_every);
     sim::StatsIo stats(system, *opts);
     auto res = system.run();
     stats.finish();

@@ -11,9 +11,15 @@
  * The shared observability knobs (obs/cli.hh) instrument every app
  * run; with --stats-interval the output file concatenates one series
  * per app (append mode), each restarting at cycle 0.
+ *
+ * The checkpoint knobs fan out per app: --checkpoint=FILE writes
+ * periodic snapshots to FILE.<app>, and --restore=FILE resumes each
+ * app whose FILE.<app> exists (apps without one start cold), so an
+ * interrupted exploration picks up where it stopped.
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +67,14 @@ main(int argc, char **argv)
         cfg.threads = obs_opts.threads;
         sim::System system(cfg);
         system.loadApp(app.scaled(scale));
+        if (!obs_opts.restore.empty()) {
+            const std::string path = obs_opts.restore + "." + app.name;
+            if (std::filesystem::exists(path))
+                system.restoreCheckpoint(path);
+        }
+        if (!obs_opts.checkpoint.empty())
+            system.setCheckpoint(obs_opts.checkpoint + "." + app.name,
+                                 obs_opts.checkpoint_every);
         sim::StatsIo stats(system, obs_opts);
         const auto res = system.run();
         stats.finish();

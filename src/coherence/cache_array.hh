@@ -191,6 +191,21 @@ class CacheArray
                 fn(line);
     }
 
+    // --- checkpoint/restore (snapshot/): the full way array in slot
+    // order plus the LRU clock, so victim selection after a restore is
+    // bit-identical to the uninterrupted run.
+    const std::vector<Line> &rawLines() const { return lines_; }
+    std::uint64_t rawLruClock() const { return lruClock_; }
+
+    void
+    rawRestore(std::vector<Line> lines, std::uint64_t lru_clock)
+    {
+        FSOI_ASSERT(lines.size() == lines_.size(),
+                    "cache geometry mismatch on restore");
+        lines_ = std::move(lines);
+        lruClock_ = lru_clock;
+    }
+
   private:
     std::size_t
     setOf(Addr line_addr) const

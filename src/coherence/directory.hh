@@ -35,6 +35,10 @@
 #include "obs/stat_registry.hh"
 
 namespace fsoi::obs { class FlightRecorder; }
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
 
 namespace fsoi::coherence {
 
@@ -157,6 +161,15 @@ class Directory
 
     /** Printable name for a Txn::Kind value (flight-recorder dumps). */
     static const char *txnKindName(std::uint8_t kind);
+
+    /**
+     * Checkpoint/restore (snapshot/). Hash-keyed tables (transactions,
+     * sync vars, sync links) are written sorted by key so snapshot
+     * bytes never depend on hash-table iteration order; no behaviour
+     * here iterates them, so rebuild order is immaterial.
+     */
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
 
   private:
     struct DirMeta

@@ -11,9 +11,12 @@
 #ifndef FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH
 #define FSOI_COHERENCE_FUNCTIONAL_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -58,6 +61,25 @@ class FunctionalMemory
     }
 
     void clear() { words_.clear(); }
+
+    /** All touched words sorted by address (checkpoint/restore: a
+     *  canonical order keeps snapshot hashes stable). */
+    std::vector<std::pair<Addr, std::uint64_t>>
+    exportWords() const
+    {
+        std::vector<std::pair<Addr, std::uint64_t>> out(words_.begin(),
+                                                        words_.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    void
+    importWords(const std::vector<std::pair<Addr, std::uint64_t>> &words)
+    {
+        words_.clear();
+        for (const auto &[addr, value] : words)
+            words_.emplace(addr, value);
+    }
 
   private:
     std::uint64_t

@@ -35,6 +35,10 @@
 #include "obs/stat_registry.hh"
 
 namespace fsoi::obs { class FlightRecorder; }
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
 
 namespace fsoi::coherence {
 
@@ -246,6 +250,19 @@ class L1Cache
     Cycle now_ = 0;
     L1Stats stats_;
     obs::FlightRecorder *flightRec_ = nullptr;
+    std::vector<Addr> retryScratch_; //!< per-tick, sorted NACK retries
+
+  public:
+    /**
+     * Checkpoint/restore (snapshot/). Completion callbacks are wiring,
+     * not data: every pending callback in this controller is the owning
+     * core's canonical completion callback, so restore re-binds
+     * deserialized entries to @p core_cb instead of serializing
+     * closures. MSHRs are written sorted by line address so snapshot
+     * bytes never depend on hash-table iteration order.
+     */
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r, const Callback &core_cb);
 };
 
 } // namespace fsoi::coherence

@@ -14,6 +14,7 @@
 #define FSOI_COHERENCE_MESSAGE_HH
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/types.hh"
 #include "noc/packet.hh"
@@ -98,6 +99,31 @@ struct Message
      */
     bool explicit_ack = false;
 };
+
+/**
+ * Padding-canonical copy for packet payloads. Message has internal
+ * padding (after type, after requester, and past the bool tail), and
+ * those bytes are indeterminate in stack-built messages; memcpy-based
+ * marshalling (Packet::setPayload) would leak them into packet
+ * payloads and make snapshot bytes differ between otherwise identical
+ * runs. Zeroing the destination first and then assigning each field
+ * leaves every padding byte zero.
+ */
+inline Message
+canonicalPayload(const Message &m)
+{
+    Message out;
+    std::memset(static_cast<void *>(&out), 0, sizeof(out));
+    out.type = m.type;
+    out.line = m.line;
+    out.requester = m.requester;
+    out.value = m.value;
+    out.version = m.version;
+    out.success = m.success;
+    out.subscribe = m.subscribe;
+    out.explicit_ack = m.explicit_ack;
+    return out;
+}
 
 } // namespace fsoi::coherence
 

@@ -128,6 +128,19 @@ class SlotPool
     std::size_t capacity() const { return slots_.size(); }
     std::size_t liveCount() const { return slots_.size() - free_.size(); }
 
+    // --- checkpoint/restore (snapshot/). The slot array AND the LIFO
+    // free list round-trip verbatim so future alloc() calls hand out
+    // the same handles in the same order as the uninterrupted run.
+    const std::vector<T> &rawSlots() const { return slots_; }
+    const std::vector<Handle> &rawFreeList() const { return free_; }
+
+    void
+    rawRestore(std::vector<T> slots, std::vector<Handle> free_list)
+    {
+        slots_ = std::move(slots);
+        free_ = std::move(free_list);
+    }
+
   private:
     std::vector<T> slots_;
     std::vector<Handle> free_;

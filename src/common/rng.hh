@@ -37,6 +37,22 @@ class Rng
             word = splitmix64(seed);
     }
 
+    /** Raw generator state, for checkpoint/restore (snapshot/). */
+    void
+    exportState(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    /** Restore raw state captured by exportState(). */
+    void
+    importState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+
     /** Next raw 64-bit output. */
     std::uint64_t
     next()

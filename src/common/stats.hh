@@ -36,6 +36,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Restore a checkpointed value (snapshot/ only). */
+    void restore(std::uint64_t value) { value_ = value; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -80,6 +83,27 @@ class Accumulator
         sum_ = sumsq_ = 0.0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+    }
+
+    /** Exact internal state, for checkpoint/restore (snapshot/). The
+     *  raw min/max (infinities when empty) and sumsq round-trip so a
+     *  restored accumulator continues bit-identically. */
+    struct Raw
+    {
+        std::uint64_t n;
+        double sum, sumsq, min, max;
+    };
+
+    Raw exportState() const { return {n_, sum_, sumsq_, min_, max_}; }
+
+    void
+    importState(const Raw &raw)
+    {
+        n_ = raw.n;
+        sum_ = raw.sum;
+        sumsq_ = raw.sumsq;
+        min_ = raw.min;
+        max_ = raw.max;
     }
 
   private:
@@ -156,6 +180,25 @@ class Histogram
         underflow_ = 0;
         acc_.reset();
         std::fill(bins_.begin(), bins_.end(), 0);
+    }
+
+    // --- checkpoint/restore (snapshot/): exact internal state. The
+    // bin layout (width, count) is construction-time configuration and
+    // must already match; importState asserts that.
+    const std::vector<std::uint64_t> &rawBins() const { return bins_; }
+    const Accumulator &rawAccumulator() const { return acc_; }
+
+    void
+    importState(std::uint64_t total, std::uint64_t underflow,
+                const Accumulator::Raw &acc,
+                const std::vector<std::uint64_t> &bins)
+    {
+        FSOI_ASSERT(bins.size() == bins_.size(),
+                    "histogram shape mismatch on restore");
+        total_ = total;
+        underflow_ = underflow;
+        acc_.importState(acc);
+        bins_ = bins;
     }
 
   private:

@@ -28,6 +28,11 @@
 #include "common/stats.hh"
 #include "workload/instr.hh"
 
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
+
 namespace fsoi::cpu {
 
 /** Core configuration. */
@@ -92,6 +97,23 @@ class Core
 
     /** Print execution state to stderr (watchdog diagnostics). */
     void debugDump() const;
+
+    /**
+     * The canonical L1 completion callback. Every request this core
+     * issues carries (a copy of) this callback, which makes pending L1
+     * callbacks restorable: L1Cache::loadState() re-binds deserialized
+     * entries to it instead of serializing closures.
+     */
+    coherence::L1Cache::Callback completionCallback();
+
+    /**
+     * Checkpoint/restore (snapshot/). The instruction stream saves and
+     * restores itself through InstrStream::saveState/loadState; the
+     * barrier-sense and subscription tables are written sorted by key
+     * so snapshot bytes never depend on hash-table iteration order.
+     */
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
 
   private:
     enum class Mode : std::uint8_t

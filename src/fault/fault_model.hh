@@ -47,6 +47,11 @@
 #include "common/types.hh"
 #include "obs/stat_registry.hh"
 
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
+
 namespace fsoi::fault {
 
 /** Packet-class index shared with the networks (0 = meta, 1 = data). */
@@ -235,6 +240,16 @@ class FaultInjector
 
     /** Fault section of the flight recorder's "context" object. */
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Checkpoint/restore (snapshot/): the mutable runtime state only —
+     * the transient RNG cursor, failure streaks, the blacklist, and the
+     * fault.* counters. The schedule (dead tables, effective BER) is
+     * reconstructed deterministically from (config, topology) at
+     * construction and is not serialized.
+     */
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
 
     /** Encoded rx channel id (see FaultConfig::killRx). */
     std::size_t

@@ -186,6 +186,9 @@ class FsoiNetwork : public noc::Network
      */
     void writeLaneStateJson(std::ostream &os) const;
 
+    void saveState(snapshot::Writer &w) const override;
+    void loadState(snapshot::Reader &r) override;
+
   private:
     struct QueuedPacket
     {

@@ -21,6 +21,11 @@
 #include "common/stats.hh"
 #include "obs/stat_registry.hh"
 
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
+
 namespace fsoi::memory {
 
 /** Per-channel configuration. */
@@ -72,6 +77,10 @@ class MemoryController
 
     /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
     void syncClock(Cycle now) { now_ = now; }
+
+    /** Checkpoint/restore (snapshot/). */
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
 
   private:
     struct Reply

@@ -1,6 +1,8 @@
 #include "noc/ideal_network.hh"
 
 #include "common/logging.hh"
+#include "noc/packet_io.hh"
+#include "snapshot/state_io.hh"
 
 namespace fsoi::noc {
 
@@ -124,6 +126,60 @@ IdealNetwork::tick(Cycle now)
                                     std::move(pkt)});
         }
     }
+}
+
+void
+IdealNetwork::saveState(snapshot::Writer &w) const
+{
+    Network::saveState(w);
+    w.u64(lanes_.size());
+    for (const Lane &ln : lanes_) {
+        w.u64(ln.queue.size());
+        for (const Packet &pkt : ln.queue)
+            savePacket(w, pkt);
+        w.u64(ln.free_at);
+    }
+    // Drain a copy of the heap in (due, seq) order. The rebuilt heap's
+    // internal array may differ, but pops follow the same total order
+    // (seq is unique), so behaviour after restore is identical.
+    auto heap = inflight_;
+    w.u64(heap.size());
+    while (!heap.empty()) {
+        const InFlight &top = heap.top();
+        w.u64(top.due);
+        w.u64(top.seq);
+        savePacket(w, top.pkt);
+        heap.pop();
+    }
+    w.u64(seq_);
+    w.u64(queuedPackets_);
+}
+
+void
+IdealNetwork::loadState(snapshot::Reader &r)
+{
+    Network::loadState(r);
+    const std::uint64_t num_lanes = r.u64();
+    FSOI_ASSERT(num_lanes == lanes_.size(),
+                "ideal network endpoint count mismatch on restore");
+    for (Lane &ln : lanes_) {
+        ln.queue.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            ln.queue.push_back(loadPacket(r));
+        ln.free_at = r.u64();
+    }
+    inflight_ = {};
+    const std::uint64_t num_inflight = r.u64();
+    for (std::uint64_t i = 0; i < num_inflight; ++i) {
+        InFlight f;
+        f.due = r.u64();
+        f.seq = r.u64();
+        f.pkt = loadPacket(r);
+        inflight_.push(std::move(f));
+    }
+    seq_ = r.u64();
+    queuedPackets_ = r.u64();
 }
 
 bool

@@ -50,6 +50,9 @@ class IdealNetwork : public Network
     void tick(Cycle now) override;
     bool idle() const override;
 
+    void saveState(snapshot::Writer &w) const override;
+    void loadState(snapshot::Reader &r) override;
+
   private:
     struct Lane
     {

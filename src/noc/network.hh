@@ -12,12 +12,20 @@
 #define FSOI_NOC_NETWORK_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/packet.hh"
 #include "obs/stat_registry.hh"
+
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace fsoi::snapshot
 
 namespace fsoi::noc {
 
@@ -84,6 +92,10 @@ class NetworkStats
 
     void reset();
 
+    // --- checkpoint/restore (snapshot/)
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
+
   private:
     static int index(PacketClass cls) { return static_cast<int>(cls); }
 
@@ -139,6 +151,10 @@ class RetxStats
         scope.counter("crc_drops", crcDrops_);
         scope.counter("dead_losses", deadChannelLosses_);
     }
+
+    // --- checkpoint/restore (snapshot/)
+    void saveState(snapshot::Writer &w) const;
+    void loadState(snapshot::Reader &r);
 
   private:
     Counter packets_;
@@ -213,6 +229,27 @@ class Network
         stats_.registerStats(scope);
         retx_.registerStats(scope.scope("retx"));
     }
+
+    /**
+     * Checkpoint/restore (snapshot/). Implementations append their own
+     * fields after calling the base, which covers the clock, the packet
+     * id allocator, and the shared statistics. Handlers are wiring, not
+     * state: the restoring System re-installs them at construction.
+     */
+    virtual void saveState(snapshot::Writer &w) const;
+    virtual void loadState(snapshot::Reader &r);
+
+    /**
+     * Section-granular checkpoint entry points. The default writes one
+     * section named @p prefix via saveState/loadState; MeshNetwork
+     * overrides them to emit one section per router so corruption is
+     * diagnosed as "snapshot.corrupt: mesh.router[12]" instead of one
+     * opaque blob.
+     */
+    virtual void saveSnapshot(snapshot::SnapshotWriter &snap,
+                              const std::string &prefix) const;
+    virtual void loadSnapshot(const snapshot::SnapshotReader &snap,
+                              const std::string &prefix);
 
   protected:
     /** Timestamp + id bookkeeping every implementation shares. */

@@ -132,11 +132,14 @@ struct Packet
 
 static_assert(std::is_trivially_copyable_v<Packet>);
 
-/** Build a packet (id/timestamps are assigned by the network). */
+/** Build a packet (id/timestamps are assigned by the network).
+ *  Value-initialized so the unused payload tail is zero: snapshots
+ *  serialize the whole inline payload, and indeterminate bytes would
+ *  make snapshot hashes nondeterministic. */
 inline Packet
 makePacket(NodeId src, NodeId dst, PacketClass cls, PacketKind kind)
 {
-    Packet pkt;
+    Packet pkt{};
     pkt.src = src;
     pkt.dst = dst;
     pkt.cls = cls;

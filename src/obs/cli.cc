@@ -50,6 +50,16 @@ parseCliOptions(int &argc, char **argv)
                 fatal("--threads wants a non-negative integer, got '%s'",
                       v5);
             opts.threads = static_cast<int>(n);
+        } else if (const char *v6 = matchValue(arg, "--checkpoint")) {
+            opts.checkpoint = v6;
+        } else if (const char *v7 = matchValue(arg, "--restore")) {
+            opts.restore = v7;
+        } else if (const char *v8 = matchValue(arg, "--checkpoint-every")) {
+            const long n = std::atol(v8);
+            if (n <= 0)
+                fatal("--checkpoint-every wants a positive cycle count, "
+                      "got '%s'", v8);
+            opts.checkpoint_every = static_cast<Cycle>(n);
         } else if (std::strcmp(arg, "--stats") == 0) {
             opts.stats_text = true;
         } else {

@@ -16,6 +16,13 @@
  *   --threads=N           intra-run tick-engine worker threads
  *                         (SystemConfig::threads); 0 = one per host
  *                         CPU. Results are bit-identical at any N.
+ *   --checkpoint=FILE     periodic hash-verified checkpoint file
+ *                         (System::setCheckpoint); pair with
+ *                         --checkpoint-every=N (cycles, default
+ *                         1000000 when only --checkpoint is given)
+ *   --restore=FILE        restore a checkpoint before running; the
+ *                         resumed run is bit-identical to the
+ *                         uninterrupted one
  *
  * Tracing is configured through the environment (FSOI_TRACE /
  * FSOI_TRACE_FILE), not argv, so it works identically under ctest,
@@ -40,6 +47,10 @@ struct CliOptions
     bool stats_text = false;
     std::uint64_t seed = 0;   //!< 0 = keep the config's default seed
     int threads = 1;          //!< tick-engine threads; 0 = host CPUs
+
+    std::string checkpoint;   //!< empty = no periodic checkpoints
+    std::string restore;      //!< empty = fresh run
+    Cycle checkpoint_every = 1'000'000; //!< checkpoint period (cycles)
 
     bool any() const
     { return stats_text || !stats_json.empty() || !stats_csv.empty(); }

@@ -117,7 +117,8 @@ class System::LocalTransport : public coherence::Transport
             return false;
         }
         Packet pkt = noc::makePacket(
-            src, dst, cls, coherence::packetKindOf(msg.type), msg);
+            src, dst, cls, coherence::packetKindOf(msg.type),
+            coherence::canonicalPayload(msg));
         if (!sys_.network_->send(std::move(pkt)))
             return false;
         recordSend(src, dst, msg);
@@ -652,11 +653,31 @@ System::initShardRuntime()
             if (!cores_[n]->done())
                 shard.runnableCores.push_back(n);
         }
-        shard.localQueue.clear();
+        // A restored run resumes with the snapshot's in-flight local
+        // messages; a fresh run starts empty either way.
+        if (!restoredRun_)
+            shard.localQueue.clear();
         for (auto &bucket : shard.staged)
             bucket.clear();
         shard.stagedBits.clear();
         shard.bucket = 0;
+
+        // Seed the wake bitmaps from component state. At the top of a
+        // cycle the bitmaps satisfy "bit set <=> active()" (deliveries
+        // always set the bit and make the target active; a tick that
+        // leaves a component inactive clears it), so this reproduces
+        // the uninterrupted run's bitmaps exactly after a restore and
+        // is all-zero for a fresh system.
+        for (int m = shard.mem_begin; m < shard.mem_end; ++m) {
+            if (memctls_[m]->active())
+                setWakeBit(shard.memWake, m);
+        }
+        for (int n = shard.tile_begin; n < shard.tile_end; ++n) {
+            if (dirs_[n]->active())
+                setWakeBit(shard.dirWake, n);
+            if (l1s_[n]->active())
+                setWakeBit(shard.l1Wake, n);
+        }
     }
     std::fill(stagedCount_.begin(), stagedCount_.end(), 0);
     staging_ = false;
@@ -748,7 +769,8 @@ System::mergeStaged()
             for (const auto &s : shard.staged[bucket]) {
                 Packet pkt = noc::makePacket(
                     s.src, s.dst, s.cls,
-                    coherence::packetKindOf(s.msg.type), s.msg);
+                    coherence::packetKindOf(s.msg.type),
+                    coherence::canonicalPayload(s.msg));
                 const bool sent = network_->send(std::move(pkt));
                 FSOI_ASSERT(sent, "staged send rejected at merge");
             }
@@ -812,7 +834,11 @@ System::runSerial(obs::Watchdog &watchdog)
     const Cycle completion_mask = config_.completion_check_stride - 1;
     const Cycle progress_mask = config_.progress_check_stride - 1;
 
-    for (now_ = 0; now_ < config_.max_cycles; ++now_) {
+    for (now_ = startCycle_; now_ < config_.max_cycles; ++now_) {
+        if (checkpointEvery_ != 0 && now_ != startCycle_
+            && now_ % checkpointEvery_ == 0)
+            saveCheckpoint(checkpointPath_);
+
         // Self-profiling brackets each phase with a clock read on
         // sampled cycles only; `prof` is hoisted so unsampled cycles
         // pay a single branch per phase.
@@ -870,7 +896,14 @@ System::runParallel(obs::Watchdog &watchdog)
     const Cycle completion_mask = config_.completion_check_stride - 1;
     const Cycle progress_mask = config_.progress_check_stride - 1;
 
-    for (now_ = 0; now_ < config_.max_cycles; ++now_) {
+    for (now_ = startCycle_; now_ < config_.max_cycles; ++now_) {
+        // Checkpoints are cut at the top of the cycle, while the
+        // workers are parked on the fork barrier — the main thread has
+        // exclusive access to all simulation state here.
+        if (checkpointEvery_ != 0 && now_ != startCycle_
+            && now_ % checkpointEvery_ == 0)
+            saveCheckpoint(checkpointPath_);
+
         const bool prof = profiler_.due(now_);
         if (prof)
             profiler_.beginCycle();

@@ -40,6 +40,11 @@
 #include "sim/energy_model.hh"
 #include "workload/apps.hh"
 
+namespace fsoi::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace fsoi::snapshot
+
 namespace fsoi::sim {
 
 /** Which interconnect the system uses. */
@@ -239,6 +244,45 @@ class System
     /** Host-time attribution across the tick phases. */
     const obs::PhaseProfiler &profiler() const { return profiler_; }
 
+    // --- checkpoint/restore (snapshot/) ---
+
+    /**
+     * Serialize the full simulation state into @p snap: functional
+     * memory, interconnect, fault-injector runtime state, every core /
+     * L1 / directory / memory controller (including statistics), and
+     * the in-flight local-hop messages — one hash-guarded section per
+     * component. Capture point is the top of a cycle (before the
+     * network tick), where the threaded engine's staging state is
+     * empty, so the snapshot is thread-count independent: identical
+     * bytes at any --threads.
+     */
+    void saveSnapshot(snapshot::SnapshotWriter &snap) const;
+
+    /** saveSnapshot() to a hash-verified file (atomic temp + rename). */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore state captured by saveSnapshot(). Call on a System built
+     * from the same configuration, after instruction streams are bound
+     * (loadApp/bindStream) and before run(); throws
+     * snapshot::SnapshotError with a named diagnosis on a mismatched
+     * snapshot. run() then continues from the captured cycle and is
+     * bit-identical to the uninterrupted run at any thread count.
+     * Host-side observability (flight recorder, profiler, watchdog
+     * baseline) restarts fresh; none of it feeds simulation state.
+     */
+    void restoreSnapshot(const snapshot::SnapshotReader &snap);
+
+    /** restoreSnapshot() from a checkpoint file. */
+    void restoreCheckpoint(const std::string &path);
+
+    /**
+     * Periodic checkpointing: during run(), write a checkpoint to
+     * @p path every @p every cycles (0 disables). Combined with
+     * restoreCheckpoint() this makes a killed run resumable.
+     */
+    void setCheckpoint(std::string path, Cycle every);
+
   private:
     class LocalTransport;
     friend class LocalTransport;
@@ -328,6 +372,9 @@ class System
     void registerStats();
     bool quiescent() const;
     RunResult collectResult(Cycle cycles, bool completed) const;
+    /** Section-name prefix the interconnect snapshots under (matches
+     *  its stats scope: "mesh", "fsoi", or "net"). */
+    const char *netSectionPrefix() const;
 
     SystemConfig config_;
     noc::MeshLayout layout_;
@@ -362,6 +409,14 @@ class System
      *  stages cross-node sends instead of calling the network. */
     bool staging_ = false;
     Cycle now_ = 0;
+
+    // Checkpoint/restore runtime state. startCycle_ is where run()'s
+    // loop begins (non-zero after a restore); restoredRun_ keeps
+    // initShardRuntime() from wiping the restored local queues.
+    std::string checkpointPath_;
+    Cycle checkpointEvery_ = 0;
+    Cycle startCycle_ = 0;
+    bool restoredRun_ = false;
 
     obs::StatRegistry registry_;
     std::unique_ptr<obs::IntervalSampler> sampler_;

@@ -16,6 +16,11 @@
 
 #include "common/types.hh"
 
+namespace fsoi::snapshot {
+class Writer;
+class Reader;
+} // namespace fsoi::snapshot
+
 namespace fsoi::workload {
 
 /** Operation kinds a stream may emit. */
@@ -47,6 +52,14 @@ class InstrStream
 
     /** Produce the next instruction (returns Op::End forever at EOS). */
     virtual Instr next() = 0;
+
+    /**
+     * Checkpoint/restore (snapshot/). The defaults fatal(): a stream
+     * kind that carries generator state must override both, or runs
+     * using it cannot be checkpointed.
+     */
+    virtual void saveState(snapshot::Writer &w) const;
+    virtual void loadState(snapshot::Reader &r);
 };
 
 } // namespace fsoi::workload

@@ -45,6 +45,67 @@ rm -f "$build/ci_stats_16core.json"
 "$build/tools/stats_report" --diff "$repo/tools/golden_stats_16core.json" \
     "$build/ci_stats_16core.json"
 
+echo "== golden snapshot manifest gate =="
+# Checkpoint the same 16-core quickstart config mid-run (fixed period,
+# so the final checkpoint lands at a fixed cycle) and require the
+# snapshot's section manifest -- format version, root hash, and every
+# section's size and FNV-1a hash -- to match the committed golden
+# manifest byte for byte. Any diff is a serialization-format or
+# simulation-state change; if intentional, regenerate with
+#
+#   build/examples/quickstart fft 16 \
+#       --checkpoint=ci_snap.ckpt --checkpoint-every=60000
+#   build/tools/stats_report --snapshot ci_snap.ckpt --manifest \
+#       > tools/golden_snapshot_16core.manifest
+#
+# and commit the result (then delete ci_snap.ckpt).
+rm -f "$build/ci_snap.ckpt"
+"$build/examples/quickstart" fft 16 \
+    --checkpoint="$build/ci_snap.ckpt" --checkpoint-every=60000 \
+    > /dev/null
+"$build/tools/stats_report" --snapshot "$build/ci_snap.ckpt" --manifest \
+    > "$build/ci_snap.manifest"
+diff -u "$repo/tools/golden_snapshot_16core.manifest" \
+    "$build/ci_snap.manifest"
+
+echo "== crash-resume gate =="
+# Kill a sweep campaign mid-flight with SIGKILL, resume it with the
+# same command line, and require the consolidated JSON report to be
+# byte-identical to an uninterrupted run's -- at tick-engine threads 1
+# and 4. The kill lands after the first point's done record hits the
+# journal, so the resume exercises both journal replay (finished
+# points) and checkpoint restore (the in-flight point). If the
+# campaign finishes before the kill lands, the resume degenerates to
+# pure journal replay, which must still reproduce the report exactly.
+for t in 1 4; do
+    camp_args="--points=4 --app=fft --scale=0.3 --threads=$t \
+        --checkpoint-every=10000 --seed=42"
+    rm -rf "$build/ci_camp_full_t$t" "$build/ci_camp_kill_t$t"
+    # shellcheck disable=SC2086
+    "$build/tools/sweep_campaign" --dir="$build/ci_camp_full_t$t" \
+        $camp_args --json="$build/ci_camp_full_t$t.json" 2> /dev/null
+    # shellcheck disable=SC2086
+    "$build/tools/sweep_campaign" --dir="$build/ci_camp_kill_t$t" \
+        $camp_args --json="$build/ci_camp_kill_t$t.json" \
+        2> /dev/null &
+    camp_pid=$!
+    while kill -0 "$camp_pid" 2> /dev/null; do
+        if grep -q '"event":"done"' \
+            "$build/ci_camp_kill_t$t/campaign.jsonl" 2> /dev/null; then
+            kill -9 "$camp_pid" 2> /dev/null || true
+            break
+        fi
+        sleep 0.05
+    done
+    wait "$camp_pid" 2> /dev/null || true
+    rm -f "$build/ci_camp_kill_t$t.json"
+    # shellcheck disable=SC2086
+    "$build/tools/sweep_campaign" --dir="$build/ci_camp_kill_t$t" \
+        $camp_args --json="$build/ci_camp_kill_t$t.json" 2> /dev/null
+    cmp "$build/ci_camp_full_t$t.json" "$build/ci_camp_kill_t$t.json"
+    echo "  threads=$t: resumed report byte-identical"
+done
+
 echo "== telemetry overhead gate =="
 # The observability layer (flight recorder + self-profiler + link
 # telemetry) must cost < 3% cycles/sec against the same config with

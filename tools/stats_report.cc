@@ -8,11 +8,16 @@
  * Usage:
  *   stats_report FILE                      summary + heatmaps
  *   stats_report --diff A B [options]      compare two stats files
+ *   stats_report --snapshot FILE           inspect a checkpoint file
  *
  * Options (diff mode):
  *   --tolerance=F    relative tolerance per value (default 0 = exact)
  *   --ignore=PREFIX  skip keys with this prefix (repeatable)
  *   --include-host   do not auto-ignore the "host." wall-clock stats
+ *
+ * Options (snapshot mode):
+ *   --manifest       machine-readable "name size hash" lines (plus a
+ *                    version header) for the golden-manifest CI gate
  *
  * The parser flattens the stats JSON tree into dotted scalar names
  * (arrays become name.0, name.1, ...), so it is robust to the exact
@@ -30,6 +35,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "snapshot/archive.hh"
 
 namespace {
 
@@ -478,6 +485,53 @@ diff(const std::string &pathA, const std::string &pathB,
     return 1;
 }
 
+// --- snapshot inspection --------------------------------------------
+
+/**
+ * Print a checkpoint file's section table. Opening the reader verifies
+ * the magic, version, section table and every per-section hash, so a
+ * zero exit already certifies the file's integrity; a corrupt file
+ * exits nonzero with the named-section diagnosis from the loader.
+ */
+int
+inspectSnapshot(const std::string &path, bool manifest)
+{
+    using fsoi::snapshot::SnapshotReader;
+    try {
+        const SnapshotReader snap = SnapshotReader::fromFile(path);
+        if (manifest) {
+            // Stable machine format for the golden-manifest gate:
+            // header line, then one "name size hash" line per section.
+            std::printf("snapshot v%u root %016llx\n", snap.version(),
+                        static_cast<unsigned long long>(snap.rootHash()));
+            for (const auto &s : snap.sections())
+                std::printf("%s %llu %016llx\n", s.name.c_str(),
+                            static_cast<unsigned long long>(s.size),
+                            static_cast<unsigned long long>(s.hash));
+            return 0;
+        }
+        std::uint64_t payload = 0;
+        for (const auto &s : snap.sections())
+            payload += s.size;
+        std::printf("%s: snapshot format v%u, %zu sections, %llu "
+                    "payload bytes\n", path.c_str(), snap.version(),
+                    snap.sections().size(),
+                    static_cast<unsigned long long>(payload));
+        std::printf("  root hash %016llx (all sections verified)\n",
+                    static_cast<unsigned long long>(snap.rootHash()));
+        std::printf("  %-16s %12s  %s\n", "section", "bytes", "hash");
+        for (const auto &s : snap.sections())
+            std::printf("  %-16s %12llu  %016llx\n", s.name.c_str(),
+                        static_cast<unsigned long long>(s.size),
+                        static_cast<unsigned long long>(s.hash));
+        return 0;
+    } catch (const fsoi::snapshot::SnapshotError &e) {
+        std::fprintf(stderr, "stats_report: %s: %s\n", path.c_str(),
+                     e.what());
+        return 1;
+    }
+}
+
 void
 usage()
 {
@@ -485,7 +539,8 @@ usage()
         stderr,
         "usage: stats_report FILE\n"
         "       stats_report --diff A B [--tolerance=F]"
-        " [--ignore=PREFIX] [--include-host]\n");
+        " [--ignore=PREFIX] [--include-host]\n"
+        "       stats_report --snapshot FILE [--manifest]\n");
 }
 
 } // namespace
@@ -494,6 +549,8 @@ int
 main(int argc, char **argv)
 {
     bool diffMode = false;
+    bool snapshotMode = false;
+    bool manifest = false;
     bool includeHost = false;
     double tolerance = 0.0;
     std::vector<std::string> ignore;
@@ -503,6 +560,10 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--diff") {
             diffMode = true;
+        } else if (arg == "--snapshot") {
+            snapshotMode = true;
+        } else if (arg == "--manifest") {
+            manifest = true;
         } else if (arg.rfind("--tolerance=", 0) == 0) {
             tolerance = std::atof(arg.c_str() + 12);
         } else if (arg.rfind("--ignore=", 0) == 0) {
@@ -526,6 +587,13 @@ main(int argc, char **argv)
     if (!includeHost)
         ignore.push_back("host.");
 
+    if (snapshotMode) {
+        if (files.size() != 1) {
+            usage();
+            return 2;
+        }
+        return inspectSnapshot(files[0], manifest);
+    }
     if (diffMode) {
         if (files.size() != 2) {
             usage();
