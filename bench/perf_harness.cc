@@ -1,9 +1,10 @@
 /**
  * @file
  * Simulator-performance harness: times a fixed 16-core matrix
- * (mesh + FSOI interconnects x fft + radix workloads, seed 7) and
- * reports simulated cycles per second of host time, wall time, and
- * peak RSS. The same matrix is then re-run through the parallel
+ * (mesh + FSOI interconnects x fft + radix workloads, seed 7, plus an
+ * idle-heavy FSOI point that stresses the event calendar's skip path)
+ * and reports simulated cycles per second of host time, wall time,
+ * and peak RSS. The same matrix is then re-run through the parallel
  * SweepRunner to time the multi-job path.
  *
  * Usage:
@@ -238,11 +239,16 @@ main(int argc, char **argv)
         return cfg;
     };
 
+    // The first four points are the busy-matrix cycles/sec gate; the
+    // idle-heavy point stresses the event calendar's skip path (long
+    // compute bursts, near-quiescent memory system) and is gated
+    // separately in tools/ci.sh.
     const RunSpec specs[] = {
         {"mesh.fft", sim::NetKind::Mesh, "fft"},
         {"mesh.radix", sim::NetKind::Mesh, "radix"},
         {"fsoi.fft", sim::NetKind::Fsoi, "fft"},
         {"fsoi.radix", sim::NetKind::Fsoi, "radix"},
+        {"fsoi.idle", sim::NetKind::Fsoi, "idle"},
     };
 
     bench::banner("perf harness",
@@ -336,6 +342,11 @@ main(int argc, char **argv)
         std::uint64_t sampled_cycles = 0;
         double total_ns = 0;
         double frac[obs::kNumTickPhases] = {};
+        // host.sched.* scheduler counters: how many cycles the event
+        // calendar executed vs skipped outright.
+        double executed = 0;
+        double skipped = 0;
+        double dispatched = 0;
     };
     std::vector<ProfileRow> profiles;
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -350,6 +361,14 @@ main(int argc, char **argv)
         row.total_ns = static_cast<double>(prof.totalNs());
         for (int p = 0; p < obs::kNumTickPhases; ++p)
             row.frac[p] = prof.fraction(static_cast<obs::TickPhase>(p));
+        const auto &reg = outcome.system->statRegistry();
+        const auto sched = [&reg](const char *name) {
+            const auto *e = reg.find(name);
+            return e && e->derived ? e->derived() : 0.0;
+        };
+        row.executed = sched("host.sched.cycles_executed");
+        row.skipped = sched("host.sched.cycles_skipped");
+        row.dispatched = sched("host.sched.events_dispatched");
         profiles.push_back(std::move(row));
     }
     std::printf("\nphase profile (fraction of sampled tick time)\n");
@@ -363,6 +382,17 @@ main(int argc, char **argv)
         for (int p = 0; p < obs::kNumTickPhases; ++p)
             std::printf(" %10.1f%%", 100.0 * row.frac[p]);
         std::printf("\n");
+    }
+
+    std::printf("\nevent calendar (host.sched.*)\n");
+    std::printf("%-12s %12s %12s %9s %14s\n", "", "executed", "skipped",
+                "skip%", "dispatched");
+    for (const auto &row : profiles) {
+        const double total = row.executed + row.skipped;
+        std::printf("%-12s %12.0f %12.0f %8.1f%% %14.0f\n",
+                    row.name.c_str(), row.executed, row.skipped,
+                    total > 0 ? 100.0 * row.skipped / total : 0.0,
+                    row.dispatched);
     }
 
     if (!json_path.empty()) {

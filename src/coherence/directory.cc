@@ -108,18 +108,20 @@ Directory::openTxn(Addr line_addr, Txn txn)
             obs::FlightEventKind::DirTxnStart, now_, node_, line_addr,
             static_cast<std::uint8_t>(txn.kind));
     }
-    txns_[line_addr] = std::move(txn);
+    const int idx = txns_.find(line_addr);
+    txns_.at(idx >= 0 ? idx : txns_.alloc(line_addr)) = std::move(txn);
 }
 
 void
-Directory::closeTxn(std::unordered_map<Addr, Txn>::iterator it)
+Directory::closeTxn(int idx)
 {
     if (flightRec_ && flightRec_->enabled()) {
         flightRec_->endTransaction(
-            obs::FlightEventKind::DirTxnEnd, now_, node_, it->first,
-            static_cast<std::uint8_t>(it->second.kind));
+            obs::FlightEventKind::DirTxnEnd, now_, node_,
+            txns_.lineAt(idx),
+            static_cast<std::uint8_t>(txns_.at(idx).kind));
     }
-    txns_.erase(it);
+    txns_.release(idx);
 }
 
 void
@@ -176,13 +178,14 @@ Directory::dispatch(const Message &msg)
                          {"line", msg.line},
                          {"from", msg.requester},
                          {"type", static_cast<std::uint64_t>(msg.type)});
-        if (auto it = txns_.find(msg.line); it != txns_.end()) {
+        if (const int idx = txns_.find(msg.line); idx >= 0) {
             // Table 2 "z": the line is busy; park the request.
-            if (it->second.pending.size()
+            Txn &txn = txns_.at(idx);
+            if (txn.pending.size()
                 >= static_cast<std::size_t>(config_.pending_per_line)) {
                 sendNack(msg);
             } else {
-                it->second.pending.push_back(msg);
+                txn.pending.push_back(msg);
             }
             return;
         }
@@ -253,10 +256,11 @@ Directory::drainPending(Addr line_addr, std::deque<Message> pending)
         Message msg = std::move(pending.front());
         pending.pop_front();
         processRequest(msg);
-        if (auto it = txns_.find(line_addr); it != txns_.end()) {
+        if (const int idx = txns_.find(line_addr); idx >= 0) {
             // The request re-busied the line; re-park the rest.
+            Txn &txn = txns_.at(idx);
             for (auto &rest : pending)
-                it->second.pending.push_back(std::move(rest));
+                txn.pending.push_back(std::move(rest));
             return;
         }
     }
@@ -407,7 +411,8 @@ Directory::makeRoomL2(Addr line_addr)
 {
     // Prefer an invalid way, then a DV way (synchronous eviction).
     Line *slot = array_.victimIf(line_addr, [this](const Line &cand) {
-        return cand.meta.state == DirState::DV && !txns_.count(cand.tag);
+        return cand.meta.state == DirState::DV
+            && !txns_.contains(cand.tag);
     });
     if (slot) {
         if (slot->valid)
@@ -419,17 +424,17 @@ Directory::makeRoomL2(Addr line_addr)
     // tear the whole set down.
     bool eviction_in_progress = false;
     array_.forEachInSet(line_addr, [&](const Line &cand) {
-        const auto it = txns_.find(cand.tag);
-        if (it != txns_.end()
-            && (it->second.kind == Txn::Kind::EvictShared
-                || it->second.kind == Txn::Kind::EvictOwned)) {
+        const int tidx = txns_.find(cand.tag);
+        if (tidx >= 0
+            && (txns_.at(tidx).kind == Txn::Kind::EvictShared
+                || txns_.at(tidx).kind == Txn::Kind::EvictOwned)) {
             eviction_in_progress = true;
         }
     });
     if (eviction_in_progress)
         return nullptr;
     slot = array_.victimIf(line_addr, [this](const Line &cand) {
-        return !txns_.count(cand.tag);
+        return !txns_.contains(cand.tag);
     });
     if (!slot)
         return nullptr; // every way busy; caller defers
@@ -473,8 +478,8 @@ Directory::handleWriteBack(const Message &msg)
     const Addr line_addr = msg.line;
     Line *ln = array_.find(line_addr);
 
-    if (auto it = txns_.find(line_addr); it != txns_.end()) {
-        Txn &txn = it->second;
+    if (const int idx = txns_.find(line_addr); idx >= 0) {
+        Txn &txn = txns_.at(idx);
         switch (txn.kind) {
           case Txn::Kind::DwgForSh: {
             // The owner evicted instead of downgrading: the requester
@@ -486,7 +491,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.sharers = 0;
             const NodeId req = txn.requester;
             auto pending = std::move(txn.pending);
-            closeTxn(it);
+            closeTxn(idx);
             grantAndComplete(line_addr, req, MsgType::DataE,
                              std::move(pending));
             return;
@@ -499,7 +504,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.sharers = 0;
             const NodeId req = txn.requester;
             auto pending = std::move(txn.pending);
-            closeTxn(it);
+            closeTxn(idx);
             grantAndComplete(line_addr, req, MsgType::DataM,
                              std::move(pending));
             return;
@@ -508,7 +513,7 @@ Directory::handleWriteBack(const Message &msg)
             FSOI_ASSERT(ln);
             ln->meta.dirty = true;
             auto pending = std::move(txn.pending);
-            closeTxn(it);
+            closeTxn(idx);
             evictLine(ln);
             drainPending(line_addr, std::move(pending));
             return;
@@ -519,7 +524,7 @@ Directory::handleWriteBack(const Message &msg)
             ln->meta.state = DirState::DV;
             ln->meta.owner = kInvalidNode;
             auto pending = std::move(txn.pending);
-            closeTxn(it);
+            closeTxn(idx);
             drainPending(line_addr, std::move(pending));
             return;
           }
@@ -551,17 +556,17 @@ void
 Directory::handleInvAck(const Message &msg, bool with_data)
 {
     const Addr line_addr = msg.line;
-    auto it = txns_.find(line_addr);
+    const int idx = txns_.find(line_addr);
     FSOI_TRACE_POINT(TraceCat::Coherence, 3, "invack", now_, node_,
                      {"line", line_addr}, {"from", msg.requester},
                      {"data", with_data ? 1u : 0u});
-    if (it == txns_.end()) {
+    if (idx < 0) {
         FSOI_TRACE_POINT(TraceCat::Coherence, 3, "stale_invack", now_,
                          node_, {"line", line_addr});
         stats_.stale_acks_dropped++;
         return;
     }
-    Txn &txn = it->second;
+    Txn &txn = txns_.at(idx);
     if (msg.version != txn.epoch) {
         stats_.stale_acks_dropped++;
         return;
@@ -581,7 +586,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         const NodeId req = txn.requester;
         const bool upgrade = txn.upgrade;
         auto pending = std::move(txn.pending);
-        closeTxn(it);
+        closeTxn(idx);
         grantAndComplete(line_addr, req,
                          upgrade ? MsgType::ExcAck : MsgType::DataM,
                          std::move(pending));
@@ -596,7 +601,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         ln->meta.sharers = 0;
         const NodeId req = txn.requester;
         auto pending = std::move(txn.pending);
-        closeTxn(it);
+        closeTxn(idx);
         grantAndComplete(line_addr, req, MsgType::DataM,
                          std::move(pending));
         return;
@@ -609,7 +614,7 @@ Directory::handleInvAck(const Message &msg, bool with_data)
         if (--txn.acks_pending > 0)
             return;
         auto pending = std::move(txn.pending);
-        closeTxn(it);
+        closeTxn(idx);
         evictLine(ln);
         drainPending(line_addr, std::move(pending));
         return;
@@ -624,15 +629,15 @@ void
 Directory::handleDwgAck(const Message &msg, bool with_data)
 {
     const Addr line_addr = msg.line;
-    auto it = txns_.find(line_addr);
+    const int idx = txns_.find(line_addr);
     FSOI_TRACE_POINT(TraceCat::Coherence, 3, "dwgack", now_, node_,
                      {"line", line_addr},
                      {"data", with_data ? 1u : 0u});
-    if (it == txns_.end() || it->second.kind != Txn::Kind::DwgForSh) {
+    if (idx < 0 || txns_.at(idx).kind != Txn::Kind::DwgForSh) {
         stats_.stale_acks_dropped++;
         return;
     }
-    Txn &txn = it->second;
+    Txn &txn = txns_.at(idx);
     if (msg.version != txn.epoch) {
         stats_.stale_acks_dropped++;
         return;
@@ -647,7 +652,7 @@ Directory::handleDwgAck(const Message &msg, bool with_data)
     ln->meta.sharers = bit(old_owner) | bit(txn.requester);
     const NodeId req = txn.requester;
     auto pending = std::move(txn.pending);
-    closeTxn(it);
+    closeTxn(idx);
     grantAndComplete(line_addr, req, MsgType::DataS, std::move(pending));
 }
 
@@ -655,10 +660,11 @@ void
 Directory::handleMemReply(const Message &msg)
 {
     const Addr line_addr = msg.line;
-    auto it = txns_.find(line_addr);
-    FSOI_ASSERT(it != txns_.end(),
+    const int idx = txns_.find(line_addr);
+    FSOI_ASSERT(idx >= 0,
                 "directory %u: memory reply without transaction", node_);
-    const auto kind = it->second.kind;
+    Txn &txn = txns_.at(idx);
+    const auto kind = txn.kind;
     FSOI_ASSERT(kind == Txn::Kind::FetchSh || kind == Txn::Kind::FetchEx);
 
     if (!array_.peek(line_addr)) {
@@ -669,16 +675,16 @@ Directory::handleMemReply(const Message &msg)
         }
         DirMeta meta{};
         meta.state = DirState::DM;
-        meta.owner = it->second.requester;
+        meta.owner = txn.requester;
         meta.dirty = false;
         array_.install(slot, line_addr, meta);
         stats_.l2_accesses++;
     }
-    const NodeId req = it->second.requester;
+    const NodeId req = txn.requester;
     const MsgType grant =
         kind == Txn::Kind::FetchSh ? MsgType::DataE : MsgType::DataM;
-    auto pending = std::move(it->second.pending);
-    closeTxn(it);
+    auto pending = std::move(txn.pending);
+    closeTxn(idx);
     grantAndComplete(line_addr, req, grant, std::move(pending));
 }
 
@@ -738,15 +744,15 @@ Directory::handleSync(const Message &msg)
 void
 Directory::onConfirm(const Message &msg)
 {
-    auto it = txns_.find(msg.line);
-    if (it == txns_.end())
+    const int idx = txns_.find(msg.line);
+    if (idx < 0)
         return;
-    Txn &txn = it->second;
+    Txn &txn = txns_.at(idx);
 
     if (txn.kind == Txn::Kind::GrantWait) {
         if (msg.type == txn.grant_type) {
             auto pending = std::move(txn.pending);
-            closeTxn(it);
+            closeTxn(idx);
             drainPending(msg.line, std::move(pending));
         }
         return;
@@ -831,12 +837,13 @@ Directory::saveState(snapshot::Writer &w) const
 
     std::vector<Addr> order;
     order.reserve(txns_.size());
-    for (const auto &[line, txn] : txns_)
-        order.push_back(line);
+    for (int i = 0; i < txns_.capacity(); ++i)
+        if (txns_.lineAt(i) != TxnTable::kFreeLine)
+            order.push_back(txns_.lineAt(i));
     std::sort(order.begin(), order.end());
     w.u64(order.size());
     for (const Addr line : order) {
-        const Txn &txn = txns_.at(line);
+        const Txn &txn = txns_.at(txns_.find(line));
         w.u64(line);
         w.u8(static_cast<std::uint8_t>(txn.kind));
         w.u32(txn.requester);
@@ -926,7 +933,7 @@ Directory::loadState(snapshot::Reader &r)
     const std::uint64_t num_txns = r.u64();
     for (std::uint64_t i = 0; i < num_txns; ++i) {
         const Addr line = r.u64();
-        Txn &txn = txns_[line];
+        Txn &txn = txns_.at(txns_.alloc(line));
         txn.kind = static_cast<Txn::Kind>(r.u8());
         txn.requester = r.u32();
         txn.upgrade = r.boolean();
@@ -999,7 +1006,11 @@ Directory::debugDump() const
                  "%zu deferred\n",
                  node_, txns_.size(), inQueue_.size(), outbox_.size(),
                  deferredFills_.size());
-    for (const auto &[line, txn] : txns_) {
+    for (int i = 0; i < txns_.capacity(); ++i) {
+        if (txns_.lineAt(i) == TxnTable::kFreeLine)
+            continue;
+        const Addr line = txns_.lineAt(i);
+        const Txn &txn = txns_.at(i);
         std::fprintf(stderr,
                      "  txn line=%llx kind=%d req=%u acks=%d grant=%d "
                      "pending=%zu state=%s\n",

@@ -22,6 +22,7 @@
 #ifndef FSOI_COHERENCE_DIRECTORY_HH
 #define FSOI_COHERENCE_DIRECTORY_HH
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 
 #include "coherence/cache_array.hh"
 #include "coherence/functional_memory.hh"
+#include "common/logging.hh"
 #include "coherence/message.hh"
 #include "coherence/transport.hh"
 #include "common/stats.hh"
@@ -140,6 +142,24 @@ class Directory
     /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
     void syncClock(Cycle now) { now_ = now; }
 
+    /**
+     * Event-calendar contract: earliest cycle a tick would make
+     * progress, or kNoCycle when the slice advances purely through
+     * deliveries (outstanding txns_ don't need ticking; queued input
+     * and deferred fills retry every cycle; outbox entries wait for
+     * their ready_at).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!inQueue_.empty() || !deferredFills_.empty())
+            return now + 1;
+        Cycle next = kNoCycle;
+        for (const OutMsg &out : outbox_)
+            next = std::min(next, std::max(out.ready_at, now + 1));
+        return next;
+    }
+
     /** Print outstanding state to stderr (watchdog diagnostics). */
     void debugDump() const;
 
@@ -204,6 +224,91 @@ class Directory
         std::deque<Message> pending;        //!< "z" queue
     };
 
+    /**
+     * Outstanding-transaction table as a struct-of-arrays: line
+     * addresses in one flat key array (kFreeLine sentinel = free slot)
+     * parallel to the Txn payloads, free slots on a LIFO free list,
+     * growing only when every slot is taken. Lookup is a linear scan
+     * of the key array -- a directory rarely holds more than a handful
+     * of open transactions, so the scan stays within a cache line or
+     * two and beats the hash-and-chase of the unordered_map this
+     * replaces on every message dispatch. Slot order depends on
+     * allocation history; the only behaviour-visible iteration
+     * (saveState) sorts by line address.
+     */
+    class TxnTable
+    {
+      public:
+        static constexpr Addr kFreeLine = ~Addr(0);
+
+        /** Slot index of @p line, or -1 when absent. */
+        int
+        find(Addr line) const
+        {
+            const int cap = static_cast<int>(lines_.size());
+            for (int i = 0; i < cap; ++i)
+                if (lines_[i] == line)
+                    return i;
+            return -1;
+        }
+
+        bool empty() const { return used_ == 0; }
+        std::size_t size() const
+        { return static_cast<std::size_t>(used_); }
+        int capacity() const { return static_cast<int>(lines_.size()); }
+        Addr lineAt(int idx) const
+        { return lines_[static_cast<std::size_t>(idx)]; }
+        Txn &at(int idx) { return slots_[static_cast<std::size_t>(idx)]; }
+        const Txn &at(int idx) const
+        { return slots_[static_cast<std::size_t>(idx)]; }
+        bool contains(Addr line) const { return find(line) >= 0; }
+
+        /** Claim a slot for @p line, growing the arrays if needed. */
+        int
+        alloc(Addr line)
+        {
+            FSOI_ASSERT(line != kFreeLine);
+            if (free_.empty()) {
+                lines_.push_back(kFreeLine);
+                slots_.emplace_back();
+                free_.push_back(static_cast<int>(lines_.size()) - 1);
+            }
+            const int idx = free_.back();
+            free_.pop_back();
+            lines_[static_cast<std::size_t>(idx)] = line;
+            slots_[static_cast<std::size_t>(idx)] = Txn{};
+            ++used_;
+            return idx;
+        }
+
+        /** Move the entry out and return the slot to the free list. */
+        Txn
+        release(int idx)
+        {
+            Txn out = std::move(slots_[static_cast<std::size_t>(idx)]);
+            slots_[static_cast<std::size_t>(idx)] = Txn{};
+            lines_[static_cast<std::size_t>(idx)] = kFreeLine;
+            free_.push_back(idx);
+            --used_;
+            return out;
+        }
+
+        void
+        clear()
+        {
+            lines_.clear();
+            slots_.clear();
+            free_.clear();
+            used_ = 0;
+        }
+
+      private:
+        std::vector<Addr> lines_;
+        std::vector<Txn> slots_;
+        std::vector<int> free_;
+        int used_ = 0;
+    };
+
     struct OutMsg
     {
         Cycle ready_at;
@@ -221,8 +326,8 @@ class Directory
     /** Insert @p txn for @p line_addr, logging DirTxnStart. All
      *  transaction creation funnels through here. */
     void openTxn(Addr line_addr, Txn txn);
-    /** Erase the transaction at @p it, logging DirTxnEnd. */
-    void closeTxn(std::unordered_map<Addr, Txn>::iterator it);
+    /** Free transaction slot @p idx, logging DirTxnEnd. */
+    void closeTxn(int idx);
 
     void queueSend(NodeId dst, const Message &msg, int latency);
     void sendNack(const Message &msg);
@@ -265,7 +370,7 @@ class Directory
     ControlBitSender controlBitSender_;
 
     CacheArray<DirMeta> array_;
-    std::unordered_map<Addr, Txn> txns_;
+    TxnTable txns_;
     std::uint64_t epochCounter_ = 0;
     std::deque<Message> inQueue_;
     std::vector<OutMsg> outbox_;

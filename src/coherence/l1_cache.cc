@@ -31,6 +31,7 @@ L1Cache::L1Cache(NodeId node, const L1Config &config, Transport &transport,
       homeOf_(std::move(home_of)), array_(config.geometry)
 {
     FSOI_ASSERT(config_.num_mshrs >= 1 && config_.store_buffer >= 1);
+    mshrs_.reset(config_.num_mshrs);
 }
 
 const char *
@@ -153,20 +154,20 @@ L1Cache::load(Addr addr, Callback cb)
         return true;
     }
 
-    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    if (const int idx = mshrs_.find(line); idx >= 0) {
         stats_.loads++;
         stats_.l1_accesses++;
-        it->second.loads.emplace_back(addr, std::move(cb));
+        mshrs_.at(idx).loads.emplace_back(addr, std::move(cb));
         return true;
     }
 
-    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+    if (mshrs_.full())
         return false;
 
     stats_.loads++;
     stats_.l1_accesses++;
     stats_.misses++;
-    Mshr &mshr = mshrs_[line];
+    Mshr &mshr = mshrs_.at(mshrs_.alloc(line));
     mshr.want = Mshr::Want::Shared;
     mshr.loads.emplace_back(addr, std::move(cb));
     issueRequest(line, mshr);
@@ -189,20 +190,21 @@ L1Cache::loadLinked(Addr addr, Callback cb)
         return true;
     }
 
-    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    if (const int idx = mshrs_.find(line); idx >= 0) {
         stats_.loads++;
         stats_.l1_accesses++;
-        it->second.is_ll = true;
-        it->second.loads.emplace_back(addr, std::move(cb));
+        Mshr &mshr = mshrs_.at(idx);
+        mshr.is_ll = true;
+        mshr.loads.emplace_back(addr, std::move(cb));
         return true;
     }
-    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+    if (mshrs_.full())
         return false;
 
     stats_.loads++;
     stats_.l1_accesses++;
     stats_.misses++;
-    Mshr &mshr = mshrs_[line];
+    Mshr &mshr = mshrs_.at(mshrs_.alloc(line));
     mshr.want = Mshr::Want::Shared;
     mshr.is_ll = true;
     mshr.loads.emplace_back(addr, std::move(cb));
@@ -242,12 +244,11 @@ L1Cache::storeConditional(Addr addr, std::uint64_t value, Callback cb)
         return true;
     }
     if (ln && ln->meta.state == L1State::S) {
-        auto it = mshrs_.find(line);
-        if (it == mshrs_.end()) {
-            if (mshrs_.size()
-                >= static_cast<std::size_t>(config_.num_mshrs))
+        const int idx = mshrs_.find(line);
+        if (idx < 0) {
+            if (mshrs_.full())
                 return false;
-            Mshr &mshr = mshrs_[line];
+            Mshr &mshr = mshrs_.at(mshrs_.alloc(line));
             mshr.want = Mshr::Want::Upgrade;
             stats_.upgrades++;
             mshr.is_sc = true;
@@ -256,10 +257,11 @@ L1Cache::storeConditional(Addr addr, std::uint64_t value, Callback cb)
             mshr.sc_cb = std::move(cb);
             issueRequest(line, mshr);
         } else {
-            it->second.is_sc = true;
-            it->second.sc_addr = addr;
-            it->second.sc_value = value;
-            it->second.sc_cb = std::move(cb);
+            Mshr &mshr = mshrs_.at(idx);
+            mshr.is_sc = true;
+            mshr.sc_addr = addr;
+            mshr.sc_value = value;
+            mshr.sc_cb = std::move(cb);
         }
         return true;
     }
@@ -306,10 +308,9 @@ L1Cache::performStoreHead()
 void
 L1Cache::finishMshr(Addr line, L1State granted)
 {
-    auto it = mshrs_.find(line);
-    FSOI_ASSERT(it != mshrs_.end());
-    Mshr mshr = std::move(it->second);
-    mshrs_.erase(it);
+    const int idx = mshrs_.find(line);
+    FSOI_ASSERT(idx >= 0);
+    Mshr mshr = mshrs_.release(idx);
     stats_.miss_latency.add(static_cast<double>(now_ - mshr.created));
     if (flightRec_ && flightRec_->enabled()) {
         flightRec_->endTransaction(
@@ -370,11 +371,11 @@ void
 L1Cache::handleData(const Message &msg, L1State granted)
 {
     const Addr line = msg.line;
-    auto it = mshrs_.find(line);
-    FSOI_ASSERT(it != mshrs_.end(),
+    const int idx = mshrs_.find(line);
+    FSOI_ASSERT(idx >= 0,
                 "node %u: data for line %llx without MSHR", node_,
                 static_cast<unsigned long long>(line));
-    it->second.request_outstanding = false;
+    mshrs_.at(idx).request_outstanding = false;
 
     if (!array_.peek(line)) {
         Line *slot = makeRoom(line);
@@ -393,18 +394,19 @@ void
 L1Cache::handleExcAck(const Message &msg)
 {
     const Addr line = msg.line;
-    auto it = mshrs_.find(line);
-    FSOI_ASSERT(it != mshrs_.end());
-    it->second.request_outstanding = false;
+    const int idx = mshrs_.find(line);
+    FSOI_ASSERT(idx >= 0);
+    mshrs_.at(idx).request_outstanding = false;
     if (!array_.peek(line)) {
         // Race: our S copy was consumed read-once (an invalidation
         // overtook a regrant) after the directory classified this as
         // an upgrade. The directory now counts us as the owner, so a
         // full Req(Ex) fetches the current L2 copy as DataM (the
         // directory's owner-lost-its-copy path).
-        it->second.want = Mshr::Want::Exclusive;
-        it->second.inv_pending = false;
-        issueRequest(line, it->second);
+        Mshr &mshr = mshrs_.at(idx);
+        mshr.want = Mshr::Want::Exclusive;
+        mshr.inv_pending = false;
+        issueRequest(line, mshr);
         return;
     }
     finishMshr(line, L1State::M);
@@ -416,11 +418,11 @@ L1Cache::handleInv(const Message &msg)
     const Addr line = msg.line;
     stats_.invalidations_received++;
 
-    auto it = mshrs_.find(line);
+    const int idx = mshrs_.find(line);
     auto *ln = array_.find(line);
     FSOI_TRACE_POINT(TraceCat::Coherence, 2, "inv", now_, node_,
                      {"line", line},
-                     {"mshr", it != mshrs_.end() ? 1u : 0u},
+                     {"mshr", idx >= 0 ? 1u : 0u},
                      {"state",
                       ln ? static_cast<std::uint64_t>(ln->meta.state) + 1
                          : 0});
@@ -430,14 +432,15 @@ L1Cache::handleInv(const Message &msg)
     ack.requester = node_;
     ack.version = msg.version;
 
-    if (it != mshrs_.end()) {
+    if (idx >= 0) {
+        Mshr &mshr = mshrs_.at(idx);
         if (ln && ln->meta.state == L1State::S
-            && it->second.want == Mshr::Want::Upgrade) {
+            && mshr.want == Mshr::Want::Upgrade) {
             // Table 2: S.MA + Inv -> InvAck / I.MD. The directory
             // reinterprets our queued upgrade as a full Req(Ex).
             clearLinkIfCovers(line);
             array_.invalidate(ln);
-            it->second.want = Mshr::Want::Exclusive;
+            mshr.want = Mshr::Want::Exclusive;
             if (!config_.confirmation_acks || msg.explicit_ack) {
                 ack.type = MsgType::InvAck;
                 queueSend(homeOf_(line), ack);
@@ -449,7 +452,7 @@ L1Cache::handleInv(const Message &msg)
         // directory must not wait on us. If a data grant is already in
         // flight it will be consumed exactly once and dropped
         // (read-once), so no stale copy ever becomes visible.
-        it->second.inv_pending = true;
+        mshr.inv_pending = true;
         clearLinkIfCovers(line);
         if (!config_.confirmation_acks || msg.explicit_ack) {
             ack.type = MsgType::InvAck;
@@ -494,7 +497,7 @@ L1Cache::handleDwg(const Message &msg)
         const auto *lnp = array_.peek(line);
         tracer().instant(TraceCat::Coherence, "dwg", now_, node_,
                          {{"line", line},
-                          {"mshr", mshrs_.count(line) != 0 ? 1u : 0u},
+                          {"mshr", mshrs_.find(line) >= 0 ? 1u : 0u},
                           {"state",
                            lnp ? static_cast<std::uint64_t>(
                                      lnp->meta.state) + 1
@@ -506,12 +509,12 @@ L1Cache::handleDwg(const Message &msg)
     ack.requester = node_;
     ack.version = msg.version;
 
-    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+    if (const int idx = mshrs_.find(line); idx >= 0) {
         auto *ln = array_.find(line);
         if (!ln) {
             // As with Inv: acknowledge immediately (clean; the L2 copy
             // is current) and downgrade the eventual grant on arrival.
-            it->second.dwg_pending = true;
+            mshrs_.at(idx).dwg_pending = true;
             ack.type = MsgType::DwgAck;
             queueSend(homeOf_(line), ack);
             return;
@@ -542,12 +545,13 @@ L1Cache::handleDwg(const Message &msg)
 void
 L1Cache::handleNack(const Message &msg)
 {
-    auto it = mshrs_.find(msg.line);
-    if (it == mshrs_.end())
+    const int idx = mshrs_.find(msg.line);
+    if (idx < 0)
         return; // satisfied through another path meanwhile
     stats_.nacks++;
-    it->second.request_outstanding = false;
-    it->second.retry_at = now_ + config_.nack_retry_delay;
+    Mshr &mshr = mshrs_.at(idx);
+    mshr.request_outstanding = false;
+    mshr.retry_at = now_ + config_.nack_retry_delay;
 }
 
 void
@@ -589,8 +593,8 @@ L1Cache::drainStoreBuffer()
     const StoreEntry &head = storeBuffer_.front();
     const Addr line = array_.lineAddr(head.addr);
 
-    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
-        it->second.store_pending = true;
+    if (const int idx = mshrs_.find(line); idx >= 0) {
+        mshrs_.at(idx).store_pending = true;
         return;
     }
 
@@ -604,10 +608,10 @@ L1Cache::drainStoreBuffer()
         performStoreHead();
         return;
     }
-    if (mshrs_.size() >= static_cast<std::size_t>(config_.num_mshrs))
+    if (mshrs_.full())
         return;
     stats_.l1_accesses++;
-    Mshr &mshr = mshrs_[line];
+    Mshr &mshr = mshrs_.at(mshrs_.alloc(line));
     if (ln && ln->meta.state == L1State::S) {
         mshr.want = Mshr::Want::Upgrade;
         stats_.upgrades++;
@@ -656,22 +660,26 @@ L1Cache::tick(Cycle now)
         outbox_.pop_front();
     }
 
-    // NACK retries. Issue in line-address order, not hash order: the
+    // NACK retries. Issue in line-address order, not slot order: the
     // outbox order of same-cycle retries is observable downstream, and
-    // a restored MSHR map (rebuilt by sorted insertion) would otherwise
-    // iterate differently than the uninterrupted run's map.
+    // slot assignment depends on allocation history (a restored table,
+    // rebuilt by sorted insertion, would otherwise iterate differently
+    // than the uninterrupted run's).
     {
         retryScratch_.clear();
-        for (auto &[line, mshr] : mshrs_) {
+        for (int i = 0; i < mshrs_.capacity(); ++i) {
+            if (mshrs_.lineAt(i) == MshrTable::kFreeLine)
+                continue;
+            const Mshr &mshr = mshrs_.at(i);
             if (mshr.retry_at != kNoCycle && mshr.retry_at <= now
                 && !mshr.request_outstanding) {
-                retryScratch_.push_back(line);
+                retryScratch_.push_back(mshrs_.lineAt(i));
             }
         }
         if (!retryScratch_.empty()) {
             std::sort(retryScratch_.begin(), retryScratch_.end());
             for (const Addr line : retryScratch_)
-                issueRequest(line, mshrs_.at(line));
+                issueRequest(line, mshrs_.at(mshrs_.find(line)));
         }
     }
 
@@ -695,12 +703,13 @@ L1Cache::saveState(snapshot::Writer &w) const
 
     std::vector<Addr> order;
     order.reserve(mshrs_.size());
-    for (const auto &[line, mshr] : mshrs_)
-        order.push_back(line);
+    for (int i = 0; i < mshrs_.capacity(); ++i)
+        if (mshrs_.lineAt(i) != MshrTable::kFreeLine)
+            order.push_back(mshrs_.lineAt(i));
     std::sort(order.begin(), order.end());
     w.u64(order.size());
     for (const Addr line : order) {
-        const Mshr &mshr = mshrs_.at(line);
+        const Mshr &mshr = mshrs_.at(mshrs_.find(line));
         w.u64(line);
         w.u8(static_cast<std::uint8_t>(mshr.want));
         w.u64(mshr.loads.size());
@@ -773,11 +782,11 @@ L1Cache::loadState(snapshot::Reader &r, const Callback &core_cb)
     const std::uint64_t lru_clock = r.u64();
     array_.rawRestore(std::move(lines), lru_clock);
 
-    mshrs_.clear();
+    mshrs_.reset(config_.num_mshrs);
     const std::uint64_t num_mshrs = r.u64();
     for (std::uint64_t i = 0; i < num_mshrs; ++i) {
         const Addr line = r.u64();
-        Mshr &mshr = mshrs_[line];
+        Mshr &mshr = mshrs_.at(mshrs_.alloc(line));
         mshr.want = static_cast<Mshr::Want>(r.u8());
         const std::uint64_t num_loads = r.u64();
         for (std::uint64_t j = 0; j < num_loads; ++j)
@@ -845,6 +854,44 @@ L1Cache::loadState(snapshot::Reader &r, const Callback &core_cb)
     loadHistogram(r, stats_.miss_latency);
 }
 
+Cycle
+L1Cache::nextEventCycle(Cycle now) const
+{
+    // Deferred installs and queued sends retry every cycle.
+    if (!deferredData_.empty() || !outbox_.empty())
+        return now + 1;
+
+    Cycle next = kNoCycle;
+    for (const PendingDone &done : pendingDone_)
+        next = std::min(next, std::max(done.due, now + 1));
+
+    for (int i = 0; i < mshrs_.capacity(); ++i) {
+        if (mshrs_.lineAt(i) == MshrTable::kFreeLine)
+            continue;
+        const Mshr &mshr = mshrs_.at(i);
+        if (mshr.retry_at != kNoCycle && !mshr.request_outstanding)
+            next = std::min(next, std::max(mshr.retry_at, now + 1));
+    }
+
+    if (!storeBuffer_.empty()) {
+        // The drain makes tick-driven progress (one head per cycle)
+        // except in two delivery-driven waits: the head's miss is in
+        // flight and already flagged store_pending (finishMshr or the
+        // post-completion drain performs it on the delivery cycle), or
+        // every MSHR is taken (the drain unblocks the cycle an MSHR
+        // frees, which only happens on a delivery to this L1). A head
+        // whose MSHR is not yet flagged must still get one tick so the
+        // flag is set before the grant lands.
+        const Addr line = array_.lineAddr(storeBuffer_.front().addr);
+        const int idx = mshrs_.find(line);
+        const bool parked =
+            idx >= 0 ? mshrs_.at(idx).store_pending : mshrs_.full();
+        if (!parked)
+            next = std::min(next, now + 1);
+    }
+    return next;
+}
+
 bool
 L1Cache::quiescent() const
 {
@@ -863,7 +910,11 @@ L1Cache::debugDump() const
                  "%zu pendingDone, %zu deferred\n",
                  node_, mshrs_.size(), storeBuffer_.size(), outbox_.size(),
                  pendingDone_.size(), deferredData_.size());
-    for (const auto &[line, mshr] : mshrs_) {
+    for (int i = 0; i < mshrs_.capacity(); ++i) {
+        if (mshrs_.lineAt(i) == MshrTable::kFreeLine)
+            continue;
+        const Addr line = mshrs_.lineAt(i);
+        const Mshr &mshr = mshrs_.at(i);
         std::fprintf(stderr,
                      "  mshr line=%llx want=%d outstanding=%d retry_at=%llu"
                      " inv_pend=%d dwg_pend=%d store_pend=%d sc=%d "

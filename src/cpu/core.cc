@@ -53,6 +53,8 @@ Core::completionCallback()
         cbArrived_ = true;
         cbValue_ = v;
         cbSuccess_ = ok;
+        if (wakeHook_)
+            wakeHook_();
     };
 }
 
@@ -70,6 +72,11 @@ Core::onControlBit(std::uint64_t tag)
         subDirectValue_ = value;
         subDirectSuccess_ = success;
     }
+    // Wake unconditionally, matching the tick-every-cycle engine: a
+    // spinning core re-examined subValues_ on every delivery, direct
+    // or not, so even a "useless" bit must trigger a (no-op) tick.
+    if (wakeHook_)
+        wakeHook_();
 }
 
 bool
@@ -139,9 +146,145 @@ Core::startInstr(Cycle now)
     }
 }
 
+bool
+Core::subSpinSatisfied() const
+{
+    const Addr word = instr_.op == Op::Lock ? instr_.addr
+                                            : instr_.addr + 64;
+    const std::uint64_t want = instr_.op == Op::Lock ? 0 : mySense_;
+    const auto it = subValues_.find(word);
+    return it != subValues_.end() && it->second == want;
+}
+
+Cycle
+Core::nextEventCycle(Cycle now) const
+{
+    switch (mode_) {
+      case Mode::Done:
+        return kNoCycle;
+
+      // Compute and the pause modes sit idle until busyUntil_; the
+      // per-cycle accounting they would have accrued is reconstructed
+      // by catchUp().
+      case Mode::Compute:
+      case Mode::LockRetryPause:
+      case Mode::LockSpinPause:
+      case Mode::BarRetryPause:
+      case Mode::BarSpinPause:
+        return std::max(busyUntil_, now + 1);
+
+      // Callback rendezvous: nothing to do until the L1 completion
+      // lands (which wakes us through the wake hook).
+      case Mode::LoadWait:
+      case Mode::LockLlWait:
+      case Mode::LockScWait:
+      case Mode::LockSpinWait:
+      case Mode::BarLlWait:
+      case Mode::BarScWait:
+      case Mode::BarSpinWait:
+        return cbArrived_ ? now + 1 : kNoCycle;
+
+      // Subscription rendezvous: woken by the control-bit delivery.
+      case Mode::SubLlWait:
+      case Mode::SubScWait:
+      case Mode::SubStoreWait:
+        return subDirectArrived_ ? now + 1 : kNoCycle;
+
+      // Passive spin on the subscription value table: progress only
+      // when a control bit flips the watched word (wake hook), or
+      // immediately if the wanted value is already there.
+      case Mode::SubSpin:
+        return subSpinSatisfied() ? now + 1 : kNoCycle;
+
+      // Everything else (fetch, issue/send retries, store drains)
+      // attempts forward progress every cycle.
+      default:
+        return now + 1;
+    }
+}
+
+void
+Core::catchUp(Cycle now)
+{
+    // Reconstruct the per-cycle counter updates the tick-every-cycle
+    // engine would have made over the skipped span (now_, now): the
+    // gap covers cycles now_ + 1 .. now - 1, exclusive of the tick
+    // about to run at `now` which does its own accounting.
+    const Cycle gap = now - now_ - 1;
+    switch (mode_) {
+      case Mode::Compute: {
+        // Each skipped cycle c with c < busyUntil_ was an active
+        // cycle; the scheduler wakes us at busyUntil_, so normally
+        // the whole gap qualifies (min() guards spurious late wakes).
+        const Cycle active_end = std::min(now, busyUntil_);
+        if (active_end > now_ + 1)
+            stats_.active_cycles += active_end - now_ - 1;
+        return;
+      }
+
+      case Mode::LoadWait:
+      case Mode::LockLlWait:
+      case Mode::LockScWait:
+      case Mode::LockSpinWait:
+      case Mode::BarLlWait:
+      case Mode::BarScWait:
+      case Mode::BarSpinWait:
+      case Mode::SubLlWait:
+      case Mode::SubScWait:
+      case Mode::SubStoreWait:
+        // Every skipped cycle preceded the arrival (arrival itself
+        // forces a same-cycle tick through the wake hook).
+        stats_.stall_cycles += gap;
+        return;
+
+      // Pause modes and SubSpin accrued nothing per cycle in the
+      // original engine; fetch/issue modes never sleep.
+      default:
+        return;
+    }
+}
+
+void
+Core::syncStats(Cycle now)
+{
+    if (now > now_ + 1)
+        catchUp(now);
+    if (now > now_) {
+        // Account the boundary cycle `now` itself the way a tick at
+        // `now` would have: the sampler reads after components ran.
+        switch (mode_) {
+          case Mode::Compute:
+            if (now < busyUntil_)
+                stats_.active_cycles++;
+            break;
+          case Mode::LoadWait:
+          case Mode::LockLlWait:
+          case Mode::LockScWait:
+          case Mode::LockSpinWait:
+          case Mode::BarLlWait:
+          case Mode::BarScWait:
+          case Mode::BarSpinWait:
+            if (!cbArrived_)
+                stats_.stall_cycles++;
+            break;
+          case Mode::SubLlWait:
+          case Mode::SubScWait:
+          case Mode::SubStoreWait:
+            if (!subDirectArrived_)
+                stats_.stall_cycles++;
+            break;
+          default:
+            break;
+        }
+        now_ = now;
+    }
+}
+
 void
 Core::tick(Cycle now)
 {
+    if (now > now_ + 1)
+        catchUp(now);
     now_ = now;
     switch (mode_) {
       case Mode::Done:

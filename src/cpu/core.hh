@@ -92,6 +92,33 @@ class Core
      */
     void syncClock(Cycle now) { now_ = now; }
 
+    /**
+     * Event-calendar contract: the next cycle this core must tick, or
+     * kNoCycle for "only on delivery" (a waiting core is woken by its
+     * completion callback / control bit through the wake hook). Always
+     * a pure function of core state, so the scheduler can drop and
+     * recompute it at will; a tick earlier than the reported cycle is
+     * harmless (catchUp() keeps the cycle accounting exact).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Invoked whenever an external event (L1 completion callback,
+     * subscription control bit) lands on this core, so the scheduler
+     * can queue a sleeping core for the current cycle's core phase.
+     */
+    void setWakeHook(std::function<void()> hook)
+    { wakeHook_ = std::move(hook); }
+
+    /**
+     * Bring the stall/active cycle counters up to date through cycle
+     * @p now without running a tick — the per-cycle accounting a
+     * sleeping core would have accumulated had it been ticked every
+     * cycle. Used by the interval sampler so mid-run snapshots of the
+     * stat registry match the tick-every-cycle engine exactly.
+     */
+    void syncStats(Cycle now);
+
     /** Subscription side-channel delivery (wired up by the System). */
     void onControlBit(std::uint64_t tag);
 
@@ -159,6 +186,8 @@ class Core
     void startInstr(Cycle now);
     bool sendSync(coherence::MsgType type, Addr word, std::uint64_t value,
                   bool subscribe, bool unconditional);
+    void catchUp(Cycle now);
+    bool subSpinSatisfied() const;
 
     NodeId node_;
     CoreConfig config_;
@@ -194,6 +223,9 @@ class Core
     // Subscription-mode sequencing within a macro-op.
     int syncStep_ = 0;
     int scFails_ = 0; //!< consecutive sc failures (backoff doubling)
+
+    // Scheduler wake notification; not serialized (rewired on restore).
+    std::function<void()> wakeHook_;
 
     CoreStats stats_;
 };

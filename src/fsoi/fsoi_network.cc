@@ -622,6 +622,18 @@ FsoiNetwork::startSlot(PacketClass cls, Cycle now)
 void
 FsoiNetwork::tick(Cycle now)
 {
+    // Event-calendar gap accounting: skipped cycles (drained network,
+    // or a busy one between slot boundaries) would only have advanced
+    // the per-slot counters — replay the boundaries inside the gap
+    // (multiples of the slot length) in one step; the boundary at now
+    // itself, if any, is counted by the idle early-out or startSlot.
+    if (const Cycle prev = this->now(); now > prev + 1) {
+        for (PacketClass cls : {PacketClass::Meta, PacketClass::Data}) {
+            const int slot = slotCycles(cls);
+            slotsElapsed_[static_cast<int>(cls)] +=
+                (now - 1) / slot - prev / slot;
+        }
+    }
     setNow(now);
 
     // Idle early-out: every queued, retrying or in-flight packet is
@@ -677,6 +689,55 @@ FsoiNetwork::tick(Cycle now)
     }
 
     expireReservations(now);
+}
+
+Cycle
+FsoiNetwork::nextEventCycle(Cycle now) const
+{
+    if (packetsInFlight_ == 0 && confirmations_.empty()
+        && controlBits_.empty())
+        return kNoCycle;
+    // Phase-array steering inspects lane heads every cycle (the
+    // re-steer must start the cycle a head becomes eligible, not at
+    // the boundary), so the wake cannot be coarsened.
+    if (config_.phase_array)
+        return now + 1;
+
+    Cycle next = kNoCycle;
+    for (const auto &ev : confirmations_)
+        if (ev.due < next)
+            next = ev.due;
+    for (const auto &ev : controlBits_)
+        if (ev.due < next)
+            next = ev.due;
+
+    // Slot machinery (resolve + start) only runs on a class's slot
+    // boundary; between boundaries a tick is a no-op for that class.
+    // Any lane content pins the wake to the class's next boundary —
+    // conservative for packets still backing off or held by request
+    // spacing, which is allowed (early wakes are harmless).
+    for (int c = 0; c < 2; ++c) {
+        const Cycle slot = static_cast<Cycle>(slotCyclesCached_[c]);
+        bool work = !inflight_[c].empty();
+        if (!work) {
+            for (NodeId node = 0;
+                 node < static_cast<NodeId>(numEndpoints()) && !work;
+                 ++node) {
+                const TxLane &ln =
+                    lanes_[static_cast<std::size_t>(node) * 2
+                           + static_cast<std::size_t>(c)];
+                work = !ln.queue.empty() || !ln.retries.empty();
+            }
+        }
+        if (work) {
+            const Cycle boundary = (now / slot + 1) * slot;
+            if (boundary < next)
+                next = boundary;
+        }
+    }
+    if (next == kNoCycle || next <= now)
+        return now + 1;
+    return next;
 }
 
 /** Drop stale request-spacing reservations. */

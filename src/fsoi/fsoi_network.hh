@@ -133,6 +133,22 @@ class FsoiNetwork : public noc::Network
     int sendBudget(NodeId src, PacketClass cls) const override;
     void tick(Cycle now) override;
     bool idle() const override;
+
+    /**
+     * Event-calendar contract: packetsInFlight_ counts every queued,
+     * retrying and in-slot packet until delivery, so with the event
+     * lists empty nothing can move until a send; skipped cycles are
+     * folded into slotsElapsed_ (and reservation expiry, which is
+     * monotone in now) at the next tick. A busy network only acts on
+     * slot boundaries and on confirmation/control-bit due cycles, so
+     * the wake is the earliest of those instead of now + 1 — except in
+     * phase-array mode, where the beam-steering scan looks at lane
+     * heads every cycle. Reservation expiry on skipped cycles is
+     * deferred harmlessly: reservation keys are slot-stamped, so a
+     * stale past-slot key can never match a future-slot probe.
+     */
+    Cycle nextEventCycle(Cycle now) const override;
+
     void registerStats(const obs::Scope &scope) const override;
 
     void setConfirmHandler(NodeId node, ConfirmHandler handler);

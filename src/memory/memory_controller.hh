@@ -13,6 +13,7 @@
 #ifndef FSOI_MEMORY_MEMORY_CONTROLLER_HH
 #define FSOI_MEMORY_MEMORY_CONTROLLER_HH
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -77,6 +78,19 @@ class MemoryController
 
     /** Keep now_ fresh on skipped cycles (what an idle tick() did). */
     void syncClock(Cycle now) { now_ = now; }
+
+    /**
+     * Event-calendar contract: earliest reply ready time (clamped to
+     * the future), or kNoCycle when no reply is in flight.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        Cycle next = kNoCycle;
+        for (const Reply &reply : replies_)
+            next = std::min(next, std::max(reply.ready_at, now + 1));
+        return next;
+    }
 
     /** Checkpoint/restore (snapshot/). */
     void saveState(snapshot::Writer &w) const;

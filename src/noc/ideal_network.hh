@@ -50,6 +50,14 @@ class IdealNetwork : public Network
     void tick(Cycle now) override;
     bool idle() const override;
 
+    /** Event-calendar contract: drained means nothing until a send. */
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return queuedPackets_ == 0 && inflight_.empty() ? kNoCycle
+                                                        : now + 1;
+    }
+
     void saveState(snapshot::Writer &w) const override;
     void loadState(snapshot::Reader &r) override;
 

@@ -1,6 +1,7 @@
 #include "noc/mesh_network.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -97,8 +98,28 @@ struct MeshNetwork::Router
         Router *up = nullptr; //!< upstream router (nullptr = injection)
         int up_port = -1;     //!< output port index at the upstream router
         std::vector<Vc> vcs;
+        /**
+         * Lower bound on the earliest ready_at among the front flits of
+         * this port's non-empty VCs. While ready_min > now every VC
+         * front is still in the router pipeline and the allocation scan
+         * over this port is side-effect free, so tick() skips it
+         * entirely. Pure memoization: pushes min it in, pops recompute
+         * it exactly, and snapshot restore rebuilds it from the
+         * restored buffers (it is never serialized).
+         */
+        Cycle ready_min = 0;
         int rr = 0;       //!< VC round-robin pointer
         int buffered = 0; //!< flits across this port's VCs (scan skip)
+
+        /** Exact ready_min from the current buffer contents. */
+        void
+        recomputeReadyMin()
+        {
+            ready_min = kNoCycle;
+            for (const Vc &vc : vcs)
+                if (!vc.empty() && vc.front().ready_at < ready_min)
+                    ready_min = vc.front().ready_at;
+        }
     };
 
     struct OutPort
@@ -112,9 +133,15 @@ struct MeshNetwork::Router
         int rr_vc = 0; //!< VC-allocation round-robin pointer
     };
 
+    /**
+     * A credit produced by a downstream traversal this cycle; it
+     * matures exactly one cycle later, which is never later than the
+     * next executed tick (nextEventCycle pins the wake to now + 1
+     * while any credit is pending), so no due stamp is needed: the
+     * whole queue is applied and cleared at the top of the next tick.
+     */
     struct CreditEvent
     {
-        Cycle due;
         int port;
         int vc;
     };
@@ -148,26 +175,16 @@ struct MeshNetwork::Router
     std::vector<WantList> want; //!< per output port
 
     /**
-     * Credit application is commutative (each event is one counter
-     * increment), so matured events are removed by swap-with-back
-     * instead of the old erase-from-middle, which was quadratic once
-     * the queue grew under load. Returns the number applied.
+     * Apply every staged credit (all matured by now -- see
+     * CreditEvent) and clear the queue. Returns the number applied.
      */
     std::size_t
-    applyCredits(Cycle now)
+    applyCredits()
     {
-        std::size_t applied = 0;
-        std::size_t i = 0;
-        while (i < credit_queue.size()) {
-            if (credit_queue[i].due <= now) {
-                ++out[credit_queue[i].port].credits[credit_queue[i].vc];
-                credit_queue[i] = credit_queue.back();
-                credit_queue.pop_back();
-                ++applied;
-            } else {
-                ++i;
-            }
-        }
+        const std::size_t applied = credit_queue.size();
+        for (const CreditEvent &ev : credit_queue)
+            ++out[ev.port].credits[ev.vc];
+        credit_queue.clear();
         return applied;
     }
 
@@ -186,7 +203,8 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
     : Network(layout.numEndpoints()), layout_(layout), config_(config),
       fault_(fault),
       linkFlits_(static_cast<std::size_t>(layout.side() * layout.side())),
-      injectors_(static_cast<std::size_t>(layout.numEndpoints()))
+      injectors_(static_cast<std::size_t>(layout.numEndpoints())),
+      injWake_(static_cast<std::size_t>(layout.numEndpoints() + 63) / 64, 0)
 {
     FSOI_ASSERT(config_.num_vcs >= 2 && config_.num_vcs % 2 == 0,
                 "need an even number of VCs to partition meta/data");
@@ -205,32 +223,35 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
         local_ports[layout_.routerOf(ep)] += 1;
     }
 
-    routers_.reserve(num_routers);
+    // Routers live in one contiguous array (reserved up front so the
+    // wiring pointers below stay stable) — the tick loop walks them
+    // every executed cycle, and the pointer-per-router layout this
+    // replaces cost a cache miss per hop of that walk.
+    routers_.reserve(static_cast<std::size_t>(num_routers));
     for (int r = 0; r < num_routers; ++r) {
-        auto router = std::make_unique<Router>();
-        router->id = r;
-        router->x = layout_.xOf(r);
-        router->y = layout_.yOf(r);
+        Router &router = routers_.emplace_back();
+        router.id = r;
+        router.x = layout_.xOf(r);
+        router.y = layout_.yOf(r);
         const int num_ports = kFirstLocal + local_ports[r];
-        router->in.resize(num_ports);
-        router->out.resize(num_ports);
+        router.in.resize(num_ports);
+        router.out.resize(num_ports);
         for (int p = 0; p < num_ports; ++p) {
-            router->in[p].vcs.resize(config_.num_vcs);
-            for (auto &vc : router->in[p].vcs)
+            router.in[p].vcs.resize(config_.num_vcs);
+            for (auto &vc : router.in[p].vcs)
                 vc.ring.resize(
                     static_cast<std::size_t>(config_.buffer_depth));
-            router->out[p].credits.assign(config_.num_vcs,
-                                          config_.buffer_depth);
-            router->out[p].vc_busy.assign(config_.num_vcs, 0);
+            router.out[p].credits.assign(config_.num_vcs,
+                                         config_.buffer_depth);
+            router.out[p].vc_busy.assign(config_.num_vcs, 0);
         }
         FSOI_ASSERT(num_ports <= kMaxPorts);
-        router->candidate.assign(num_ports, -1);
-        router->want.resize(static_cast<std::size_t>(num_ports));
-        routers_.push_back(std::move(router));
+        router.candidate.assign(num_ports, -1);
+        router.want.resize(static_cast<std::size_t>(num_ports));
     }
 
     // Wire neighbouring routers (E<->W, N<->S) and mark local ports.
-    auto at = [&](int x, int y) { return routers_[y * side + x].get(); };
+    auto at = [&](int x, int y) { return &routers_[y * side + x]; };
     for (int y = 0; y < side; ++y) {
         for (int x = 0; x < side; ++x) {
             Router *r = at(x, y);
@@ -270,9 +291,9 @@ MeshNetwork::MeshNetwork(const MeshLayout &layout, const MeshConfig &config,
             }
         }
     }
-    for (auto &router : routers_) {
-        for (std::size_t p = kFirstLocal; p < router->out.size(); ++p)
-            router->out[p].local = true;
+    for (Router &router : routers_) {
+        for (std::size_t p = kFirstLocal; p < router.out.size(); ++p)
+            router.out[p].local = true;
     }
 
     flits_[0] = computeFlitsPerPacket(PacketClass::Meta);
@@ -303,7 +324,7 @@ MeshNetwork::buildRouteTable()
         while (head < tail) {
             const int r = bfs[head++];
             for (int d = 0; d < 4; ++d) {
-                const Router *peer = routers_[r]->out[d].peer;
+                const Router *peer = routers_[r].out[d].peer;
                 if (!peer || fault_->linkDead(r, d))
                     continue;
                 if (dist[peer->id] < 0) {
@@ -316,7 +337,7 @@ MeshNetwork::buildRouteTable()
             if (r == dst || dist[r] < 0)
                 continue;
             for (int d = 0; d < 4; ++d) {
-                const Router *peer = routers_[r]->out[d].peer;
+                const Router *peer = routers_[r].out[d].peer;
                 if (!peer || fault_->linkDead(r, d))
                     continue;
                 if (dist[peer->id] == dist[r] - 1) {
@@ -393,8 +414,7 @@ MeshNetwork::registerStats(const obs::Scope &scope) const
     // are registered (edge routers lack some directions).
     const obs::Scope links = scope.scope("links");
     const obs::Scope occupancy = scope.scope("occupancy");
-    for (const auto &rptr : routers_) {
-        const Router &router = *rptr;
+    for (const Router &router : routers_) {
         const obs::Scope r = links.scope("r" + std::to_string(router.id));
         for (int d = 0; d < 4; ++d) {
             if (router.out[d].peer)
@@ -443,6 +463,7 @@ MeshNetwork::send(Packet &&pkt)
         return true;
     }
     stampOnSend(pkt);
+    injWake_[pkt.src >> 6] |= 1ull << (pkt.src & 63);
     injectors_[pkt.src].lanes[static_cast<int>(pkt.cls)]
         .queue.push_back(std::move(pkt));
     ++packetsInFlight_;
@@ -456,7 +477,7 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
     FSOI_ASSERT(!lane.queue.empty());
     // Choose a VC in this class's partition with room in the local
     // input port of the endpoint's router.
-    Router &router = *routers_[layout_.routerOf(endpoint)];
+    Router &router = routers_[layout_.routerOf(endpoint)];
     auto &iport = router.in[localPortOf(endpoint)];
     const int half = config_.num_vcs / 2;
     const int lo = cls_idx == 0 ? 0 : half;
@@ -500,18 +521,21 @@ MeshNetwork::startPacket(Injector &inj, int cls_idx, NodeId endpoint)
 void
 MeshNetwork::tickInjection(Cycle now)
 {
-    for (NodeId ep = 0; ep < static_cast<NodeId>(layout_.numEndpoints());
-         ++ep) {
+    // Walk only the endpoints flagged as possibly-active; bit order is
+    // ascending endpoint id, the same order the full scan used.
+    for (std::size_t w = 0; w < injWake_.size(); ++w) {
+      for (std::uint64_t word = injWake_[w]; word != 0; word &= word - 1) {
+        const int bit = std::countr_zero(word);
+        const NodeId ep = static_cast<NodeId>(w * 64
+                                              + static_cast<std::size_t>(bit));
         Injector &inj = injectors_[ep];
-        if (inj.quiet())
-            continue;
         // Begin serialization of queued packets when a class is idle.
         for (int c = 0; c < 2; ++c)
             if (inj.active[c] == kNullPkt && !inj.lanes[c].queue.empty())
                 startPacket(inj, c, ep);
 
         // One flit per cycle per endpoint, alternating classes.
-        Router &router = *routers_[layout_.routerOf(ep)];
+        Router &router = routers_[layout_.routerOf(ep)];
         auto &iport = router.in[localPortOf(ep)];
         for (int k = 0; k < 2; ++k) {
             const int c = (inj.rr_class + k) % 2;
@@ -528,6 +552,8 @@ MeshNetwork::tickInjection(Cycle now)
             flit.tail = inj.remaining[c] == 1;
             flit.ready_at = now + config_.router_cycles;
             buf.push(flit);
+            if (flit.ready_at < iport.ready_min)
+                iport.ready_min = flit.ready_at;
             ++iport.buffered;
             ++router.buffered_flits;
             activity_.buffer_writes++;
@@ -538,12 +564,65 @@ MeshNetwork::tickInjection(Cycle now)
             inj.rr_class = (c + 1) % 2;
             break; // one flit per endpoint per cycle
         }
+        if (inj.quiet())
+            injWake_[w] &= ~(1ull << bit);
+      }
     }
+}
+
+Cycle
+MeshNetwork::nextEventCycle(Cycle now) const
+{
+    if (packetsInFlight_ == 0 && pendingCredits_ == 0)
+        return kNoCycle;
+    // Credit events always mature one cycle after the traversal that
+    // produced them, so any unapplied credit pins the wake to now + 1
+    // without looking further. Likewise a flagged injector (possibly
+    // stale — then the next tick clears it) streams one flit per
+    // cycle. Both checks are O(1); the router scan below only runs in
+    // the sparse case — every packet in flight sitting in a router
+    // pipeline — which is exactly where skipping pays.
+    if (pendingCredits_ != 0)
+        return now + 1;
+    for (const std::uint64_t word : injWake_)
+        if (word != 0)
+            return now + 1;
+    Cycle next = kNoCycle;
+    // pendingCredits_ == 0 here, so every credit queue is empty: only
+    // buffered flits (their ready_at), matured ejections and pending
+    // retransmissions can wake the mesh.
+    for (const Router &router : routers_) {
+        if (router.buffered_flits == 0)
+            continue;
+        for (const auto &iport : router.in)
+            if (iport.buffered != 0 && iport.ready_min < next)
+                next = iport.ready_min;
+        if (next <= now + 1)
+            return now + 1;
+    }
+    for (const auto &pd : pending_)
+        if (pd.due < next)
+            next = pd.due;
+    for (const auto &ev : retxQueue_)
+        if (ev.due < next)
+            next = ev.due;
+    // Defensive: in-flight work must always produce a finite wake.
+    if (next == kNoCycle)
+        return now + 1;
+    return next < now + 1 ? now + 1 : next;
 }
 
 void
 MeshNetwork::tick(Cycle now)
 {
+    // Event-calendar gap accounting: every cycle the scheduler skipped
+    // since the previous tick was a mesh no-op by construction
+    // (nextEventCycle reports the earliest cycle a tick could do work,
+    // and nothing can inject without an executed cycle), so fold the
+    // whole gap into the lazy scan_phase replay counter — a no-op tick
+    // only rotates the arbitration priority.
+    if (now > this->now() + 1)
+        idleTicks_ += now - this->now() - 1;
     setNow(now);
 
     // Idle early-out: with no packet anywhere (injector queues, VC
@@ -557,8 +636,7 @@ MeshNetwork::tick(Cycle now)
         return;
     }
     if (idleTicks_ != 0) {
-        for (auto &rptr : routers_) {
-            Router &router = *rptr;
+        for (Router &router : routers_) {
             router.scan_phase = static_cast<int>(
                 (router.scan_phase + idleTicks_) % router.in.size());
         }
@@ -582,30 +660,30 @@ MeshNetwork::tick(Cycle now)
 
     const int half = config_.num_vcs / 2;
 
-    for (auto &rptr : routers_) {
-        Router &router = *rptr;
+    for (Router &router : routers_) {
+        const int num_ports = static_cast<int>(router.in.size());
         // A router with no buffered flit and no credit event has
         // nothing to arbitrate; only its priority rotation advances.
-        if (router.buffered_flits == 0 && router.credit_queue.empty()) {
-            router.scan_phase = (router.scan_phase + 1)
-                % static_cast<int>(router.in.size());
+        if (++router.scan_phase >= num_ports)
+            router.scan_phase = 0;
+        if (router.buffered_flits == 0 && router.credit_queue.empty())
             continue;
-        }
-        pendingCredits_ -= router.applyCredits(now);
+        pendingCredits_ -= router.applyCredits();
 
         // --- Switch allocation: input-first candidate selection ---
-        // The scan start rotates every cycle; a fixed start would give
-        // low-numbered ports permanent VA priority and can starve a
-        // port indefinitely under saturation.
-        router.scan_phase = (router.scan_phase + 1)
-            % static_cast<int>(router.in.size());
-        const int num_ports = static_cast<int>(router.in.size());
+        // The scan start rotates every cycle (advanced above, busy or
+        // not); a fixed start would give low-numbered ports permanent
+        // VA priority and can starve a port indefinitely under
+        // saturation.
         for (int pi = 0; pi < num_ports; ++pi) {
             int p = pi + router.scan_phase;
             if (p >= num_ports)
                 p -= num_ports;
             auto &iport = router.in[p];
-            if (iport.buffered == 0)
+            // ready_min > now means every front flit is still in the
+            // router pipeline: the VC scan below would continue at the
+            // ready_at check for all of them, so skip the port.
+            if (iport.buffered == 0 || iport.ready_min > now)
                 continue;
             for (int k = 0; k < config_.num_vcs; ++k) {
                 int v = iport.rr + k;
@@ -621,7 +699,7 @@ MeshNetwork::tick(Cycle now)
                 // Route compute for a head flit reaching the front.
                 if (flit.head && vc.out_port < 0) {
                     const int dst_router = layout_.routerOf(fpkt.dst);
-                    Router &dr = *routers_[dst_router];
+                    Router &dr = routers_[dst_router];
                     if (dr.id == router.id) {
                         vc.out_port = localPortOf(fpkt.dst);
                     } else if (!nextHop_.empty()) {
@@ -650,12 +728,15 @@ MeshNetwork::tick(Cycle now)
                     const bool is_meta = fpkt.cls == PacketClass::Meta;
                     const int lo = is_meta ? 0 : half;
                     const int hi = is_meta ? half : config_.num_vcs;
-                    for (int j = 0; j < hi - lo; ++j) {
-                        const int cand =
-                            lo + (oport.rr_vc + j) % (hi - lo);
+                    const int span = hi - lo;
+                    for (int j = 0; j < span; ++j) {
+                        int rel = oport.rr_vc + j;
+                        if (rel >= span)
+                            rel -= span;
+                        const int cand = lo + rel;
                         if (!oport.vc_busy[cand]) {
                             oport.vc_busy[cand] = 1;
-                            oport.rr_vc = (cand - lo + 1) % (hi - lo);
+                            oport.rr_vc = rel + 1 == span ? 0 : rel + 1;
                             vc.out_vc = cand;
                             break;
                         }
@@ -697,7 +778,7 @@ MeshNetwork::tick(Cycle now)
             }
             wl.count = 0;
             activity_.arbitrations++;
-            oport.rr_in = (winner_port + 1) % np;
+            oport.rr_in = winner_port + 1 == np ? 0 : winner_port + 1;
             auto &iport = router.in[winner_port];
             const int v = router.candidate[winner_port];
             auto &vc = iport.vcs[v];
@@ -705,7 +786,8 @@ MeshNetwork::tick(Cycle now)
             vc.pop();
             --iport.buffered;
             --router.buffered_flits;
-            iport.rr = (v + 1) % config_.num_vcs;
+            iport.recomputeReadyMin();
+            iport.rr = v + 1 == config_.num_vcs ? 0 : v + 1;
             activity_.buffer_reads++;
             activity_.crossbar_traversals++;
 
@@ -718,7 +800,7 @@ MeshNetwork::tick(Cycle now)
             // Return a credit upstream for the freed buffer slot.
             if (iport.up) {
                 iport.up->credit_queue.push_back(
-                    {now + 1, iport.up_port, v});
+                    {iport.up_port, v});
                 ++pendingCredits_;
             }
             if (oport.local) {
@@ -768,6 +850,8 @@ MeshNetwork::tick(Cycle now)
                     + config_.router_cycles;
                 auto &dport = oport.peer->in[oport.peer_port];
                 dport.vcs[out_vc].push(flit);
+                if (flit.ready_at < dport.ready_min)
+                    dport.ready_min = flit.ready_at;
                 ++dport.buffered;
                 ++oport.peer->buffered_flits;
                 activity_.buffer_writes++;
@@ -788,6 +872,7 @@ MeshNetwork::tick(Cycle now)
                                  {"retries",
                                   static_cast<std::uint64_t>(
                                       pkt.retries)});
+                injWake_[pkt.src >> 6] |= 1ull << (pkt.src & 63);
                 injectors_[pkt.src].lanes[static_cast<int>(pkt.cls)]
                     .queue.push_back(std::move(pkt));
             } else {
@@ -806,8 +891,7 @@ MeshNetwork::debugDump() const
     std::fprintf(stderr, "mesh: %llu packets in flight, now=%llu\n",
                  (unsigned long long)packetsInFlight_,
                  (unsigned long long)now());
-    for (const auto &rptr : routers_) {
-        const Router &router = *rptr;
+    for (const Router &router : routers_) {
         for (std::size_t p = 0; p < router.in.size(); ++p) {
             for (int v = 0; v < config_.num_vcs; ++v) {
                 const auto &vc = router.in[p].vcs[v];
@@ -859,8 +943,7 @@ MeshNetwork::writeLinkStateJson(std::ostream &os) const
        << ",\"retx_queued\":" << retxQueue_.size()
        << ",\"routers\":[";
     bool sep = false;
-    for (const auto &rptr : routers_) {
-        const Router &router = *rptr;
+    for (const Router &router : routers_) {
         if (router.buffered_flits == 0)
             continue;
         os << (sep ? "," : "") << "{\"id\":" << router.id
@@ -981,8 +1064,7 @@ MeshNetwork::saveSnapshot(snapshot::SnapshotWriter &snap,
     w.u64(pendingCredits_);
     w.u64(idleTicks_);
 
-    for (const auto &rptr : routers_) {
-        const Router &router = *rptr;
+    for (const Router &router : routers_) {
         Writer &rw = snap.section(prefix + ".router["
                                   + std::to_string(router.id) + "]");
         rw.i32(router.scan_phase);
@@ -1016,7 +1098,6 @@ MeshNetwork::saveSnapshot(snapshot::SnapshotWriter &snap,
         }
         rw.u64(router.credit_queue.size());
         for (const auto &ev : router.credit_queue) {
-            rw.u64(ev.due);
             rw.i32(ev.port);
             rw.i32(ev.vc);
         }
@@ -1085,8 +1166,7 @@ MeshNetwork::loadSnapshot(const snapshot::SnapshotReader &snap,
     pendingCredits_ = r.u64();
     idleTicks_ = r.u64();
 
-    for (auto &rptr : routers_) {
-        Router &router = *rptr;
+    for (Router &router : routers_) {
         Reader rr = snap.open(prefix + ".router["
                               + std::to_string(router.id) + "]");
         router.scan_phase = rr.i32();
@@ -1116,11 +1196,21 @@ MeshNetwork::loadSnapshot(const snapshot::SnapshotReader &snap,
         }
         router.credit_queue.resize(rr.u64());
         for (auto &ev : router.credit_queue) {
-            ev.due = rr.u64();
             ev.port = rr.i32();
             ev.vc = rr.i32();
         }
     }
+
+    // Rebuild the memoized scan accelerators (never serialized) from
+    // the restored state: per-port ready_min and the active-injector
+    // bitmap.
+    for (Router &router : routers_)
+        for (auto &iport : router.in)
+            iport.recomputeReadyMin();
+    std::fill(injWake_.begin(), injWake_.end(), 0);
+    for (std::size_t ep = 0; ep < injectors_.size(); ++ep)
+        if (!injectors_[ep].quiet())
+            injWake_[ep >> 6] |= 1ull << (ep & 63);
 }
 
 bool
@@ -1134,8 +1224,8 @@ MeshNetwork::idle() const
         if (!inj.quiet())
             return false;
     }
-    for (const auto &router : routers_)
-        if (!router->empty())
+    for (const Router &router : routers_)
+        if (!router.empty())
             return false;
     return true;
 }

@@ -87,6 +87,20 @@ class MeshNetwork : public Network
     int sendBudget(NodeId src, PacketClass cls) const override;
     void tick(Cycle now) override;
     bool idle() const override;
+
+    /**
+     * Event-calendar contract: a drained mesh (retx-queued packets
+     * stay counted in packetsInFlight_) only needs ticking again once
+     * something sends, and a busy mesh whose every front flit is still
+     * in a router pipeline needs no tick until the earliest of those
+     * ready_at stamps (or a credit, ejection, or retransmission
+     * matures). A tick on any earlier cycle is a no-op apart from the
+     * scan_phase rotation, which the idleTicks_ replay reproduces
+     * exactly for skipped cycles, so reporting the true next event is
+     * behaviour-preserving. Injection streams one flit per endpoint
+     * per cycle, so any flagged injector pins the wake to now + 1.
+     */
+    Cycle nextEventCycle(Cycle now) const override;
     void registerStats(const obs::Scope &scope) const override;
 
     const MeshActivity &activity() const { return activity_; }
@@ -204,8 +218,21 @@ class MeshNetwork : public Network
     // injectors' active slots, and the pending-delivery list. The pool
     // recycles slots, so steady-state traffic never allocates.
     common::SlotPool<Packet> pkts_;
-    std::vector<std::unique_ptr<Router>> routers_;
+    // Contiguous by value (legal for the incomplete Router type since
+    // all member functions live in the .cc): the tick loop walks every
+    // router each executed cycle, so the array layout matters. The
+    // vector reserves its final size before the wiring pass and never
+    // grows after, keeping the inter-router peer/up pointers stable.
+    std::vector<Router> routers_;
     std::vector<Injector> injectors_;       // per endpoint
+    /**
+     * Bitmap of endpoints whose injector may have work (a queued or
+     * in-progress packet). tickInjection() walks set bits instead of
+     * every endpoint and clears a bit once the injector drains; send()
+     * and retransmission re-set it. Memoization only — never
+     * serialized, rebuilt from injector state on snapshot restore.
+     */
+    std::vector<std::uint64_t> injWake_;
     std::vector<PendingDelivery> pending_;  // tail-ejected packets
     std::vector<RetxEvent> retxQueue_;      // NACKed, awaiting re-inject
     std::uint64_t packetsInFlight_ = 0;

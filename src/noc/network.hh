@@ -212,6 +212,14 @@ class Network
     /** True when no packet is buffered or in flight. */
     virtual bool idle() const = 0;
 
+    /**
+     * Event-calendar contract: the next cycle this network must be
+     * ticked, or kNoCycle when fully drained (a send() re-activates
+     * it). Implementations are expected to make idle ticks cheap
+     * anyway; the default never sleeps.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now + 1; }
+
     NetworkStats &stats() { return stats_; }
     const NetworkStats &stats() const { return stats_; }
 

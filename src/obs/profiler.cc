@@ -16,6 +16,7 @@ tickPhaseName(TickPhase phase)
       case TickPhase::L1: return "l1";
       case TickPhase::Core: return "core";
       case TickPhase::Components: return "components";
+      case TickPhase::Sched: return "sched";
       case TickPhase::kCount: break;
     }
     return "?";

@@ -48,6 +48,14 @@ enum class TickPhase : std::uint8_t
      * region is charged to this one phase instead.
      */
     Components,
+    /**
+     * Event-calendar bookkeeping: computing the next epoch, popping
+     * due calendar entries and re-arming component wakes. Cycles the
+     * calendar skips entirely cost nothing and are attributed nowhere
+     * — the sampled cycles remain an unbiased slice of the *executed*
+     * cycles, so phase fractions stay meaningful.
+     */
+    Sched,
     kCount,
 };
 

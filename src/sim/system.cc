@@ -52,6 +52,18 @@ forEachWake(std::vector<std::uint64_t> &words, Fn &&fn)
     }
 }
 
+/**
+ * Check-cadence constants of the run loop. Both are pure alignments —
+ * a completion or progress check never mutates simulation state — so
+ * they are not configuration. The progress cadence is an
+ * unconditional epoch wake source (the watchdog must sample the
+ * instruction/network feeds at the same cycles the tick-every-cycle
+ * engine gave it); the completion cadence joins the epoch only once
+ * every core is done.
+ */
+constexpr Cycle kCompletionStride = 32;
+constexpr Cycle kProgressStride = 16384;
+
 } // namespace
 
 const char *
@@ -191,12 +203,6 @@ System::System(const SystemConfig &config)
         fatal("FSOI optimizations enabled on a %s interconnect",
               netKindName(config_.network));
     }
-    FSOI_ASSERT(config_.completion_check_stride > 0
-                && std::has_single_bit(config_.completion_check_stride),
-                "completion_check_stride must be a power of two");
-    FSOI_ASSERT(config_.progress_check_stride > 0
-                && std::has_single_bit(config_.progress_check_stride),
-                "progress_check_stride must be a power of two");
     // Home interleaving consumes the low line-address bits; the L2
     // slices must index their sets with the bits above them.
     config_.dir.geometry.index_skip_bits =
@@ -295,6 +301,7 @@ System::System(const SystemConfig &config)
         shard.memWake.assign(static_cast<std::size_t>(mem_words), 0);
         shard.dirWake.assign(static_cast<std::size_t>(tile_words), 0);
         shard.l1Wake.assign(static_cast<std::size_t>(tile_words), 0);
+        shard.coreWake.assign(static_cast<std::size_t>(tile_words), 0);
         for (int n = shard.tile_begin; n < shard.tile_end; ++n)
             nodeShard_[static_cast<std::size_t>(n)] = s;
         for (int m = shard.mem_begin; m < shard.mem_end; ++m)
@@ -302,6 +309,18 @@ System::System(const SystemConfig &config)
     }
     stagedCount_.assign(
         static_cast<std::size_t>(layout_.numEndpoints()) * 2, 0);
+
+    // A sleeping core has no scheduled wake while it waits on a
+    // delivery (completion callback or control bit); the hook queues
+    // it for the core phase of the cycle the delivery lands in —
+    // exactly the cycle the tick-every-cycle engine re-examined it.
+    for (int n = 0; n < config_.num_cores; ++n) {
+        cores_[n]->setWakeHook([this, n] {
+            setWakeBit(
+                shards_[static_cast<std::size_t>(nodeShard_[n])].coreWake,
+                n);
+        });
+    }
     if (threads_ > 1) {
         // Shared-by-design structures get their internal locks; both
         // are off the determinism-relevant path (see their headers).
@@ -396,7 +415,26 @@ System::registerStats()
     // Host-side self-profile: nondeterministic wall-clock data, so it
     // lives under its own top-level prefix that golden-stats diffs
     // ignore (tools/stats_report skips "host." by default).
-    profiler_.registerStats(root.scope("host"));
+    const obs::Scope host = root.scope("host");
+    profiler_.registerStats(host);
+
+    // Event-calendar telemetry. Also under "host.": the wake schedule
+    // is engine bookkeeping (a restored run may execute a slightly
+    // different superset of cycles than the uninterrupted one), not
+    // simulation state.
+    const obs::Scope sched = host.scope("sched");
+    sched.derived("events_dispatched", [this] {
+        std::uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard.eventsDispatched;
+        return static_cast<double>(total);
+    });
+    sched.derived("cycles_executed", [this] {
+        return static_cast<double>(schedExecuted_);
+    });
+    sched.derived("cycles_skipped", [this] {
+        return static_cast<double>(schedSkipped_);
+    });
 
     // Cross-tile aggregates (registry-side, not per-component).
     sys.derived("cycles",
@@ -636,6 +674,16 @@ System::run()
     if (!completed && faultDiagnosis_.empty())
         warn("run hit max_cycles=%llu before completing",
              static_cast<unsigned long long>(config_.max_cycles));
+
+    // Cores asleep when the run ends still owe active/stall time for
+    // the skipped tail; account through the last cycle the
+    // tick-every-cycle engine would have executed.
+    const Cycle last = now_ < config_.max_cycles
+        ? now_
+        : (config_.max_cycles ? config_.max_cycles - 1 : 0);
+    for (auto &core : cores_)
+        core->syncStats(last);
+
     if (sampler_)
         sampler_->finish(now_);
     return collectResult(now_, completed);
@@ -648,11 +696,11 @@ System::initShardRuntime()
         std::fill(shard.memWake.begin(), shard.memWake.end(), 0);
         std::fill(shard.dirWake.begin(), shard.dirWake.end(), 0);
         std::fill(shard.l1Wake.begin(), shard.l1Wake.end(), 0);
-        shard.runnableCores.clear();
-        for (int n = shard.tile_begin; n < shard.tile_end; ++n) {
-            if (!cores_[n]->done())
-                shard.runnableCores.push_back(n);
-        }
+        std::fill(shard.coreWake.begin(), shard.coreWake.end(), 0);
+        shard.calendar.reset(startCycle_);
+        shard.nextEvent = startCycle_ + 1;
+        shard.eventsDispatched = 0;
+        shard.coresRunning = 0;
         // A restored run resumes with the snapshot's in-flight local
         // messages; a fresh run starts empty either way.
         if (!restoredRun_)
@@ -662,42 +710,69 @@ System::initShardRuntime()
         shard.stagedBits.clear();
         shard.bucket = 0;
 
-        // Seed the wake bitmaps from component state. At the top of a
-        // cycle the bitmaps satisfy "bit set <=> active()" (deliveries
-        // always set the bit and make the target active; a tick that
-        // leaves a component inactive clears it), so this reproduces
-        // the uninterrupted run's bitmaps exactly after a restore and
-        // is all-zero for a fresh system.
-        for (int m = shard.mem_begin; m < shard.mem_end; ++m) {
-            if (memctls_[m]->active())
-                setWakeBit(shard.memWake, m);
-        }
+        // Seed the scheduler from component state. The calendar and
+        // bitmaps are never serialized: every component with pending
+        // work (and every unfinished core) is woken once at the start
+        // cycle, and its first tick re-arms an exact wake through
+        // nextEventCycle(). A wake the uninterrupted run would not
+        // have executed is a harmless spurious tick — the cycle is one
+        // the tick-every-cycle engine executed anyway, and a tick at a
+        // cycle with nothing due has no observable effect (cores fold
+        // the skipped span in through catchUp either way).
         for (int n = shard.tile_begin; n < shard.tile_end; ++n) {
+            if (!cores_[n]->done()) {
+                ++shard.coresRunning;
+                setWakeBit(shard.coreWake, n);
+            }
             if (dirs_[n]->active())
                 setWakeBit(shard.dirWake, n);
             if (l1s_[n]->active())
                 setWakeBit(shard.l1Wake, n);
         }
+        for (int m = shard.mem_begin; m < shard.mem_end; ++m) {
+            if (memctls_[m]->active())
+                setWakeBit(shard.memWake, m);
+        }
     }
     std::fill(stagedCount_.begin(), stagedCount_.end(), 0);
     staging_ = false;
+    schedExecuted_ = 0;
+    schedSkipped_ = 0;
 }
 
 /**
  * All component phases of one shard for cycle now_, in the serial
- * loop's phase order. Wake/event scheduling replaces the old
- * scan-everything active checks: only components with a set wake bit
- * (woken by a delivery, a local message, or their own lingering work)
- * are visited at all, so a quiescent tile costs zero — not even a
- * clock refresh, which deliveries re-establish on demand (see
- * routeMessage). Each substitution is exact: the skipped tick's sole
- * side effect was the now_ store, and the skipped syncClock only
- * mattered to the component's next handleMessage/tick, both of which
- * now sync first.
+ * loop's phase order. Only components with a set wake bit — woken by a
+ * delivery, a matured calendar entry, or their own lingering next-cycle
+ * work — are visited at all, so a quiescent tile costs zero, not even
+ * a clock refresh (deliveries re-sync on demand; see routeMessage).
+ *
+ * The re-arm protocol after every tick is what keeps the calendar
+ * exact: nextEventCycle(now_) == now_ + 1 keeps the wake bit (the
+ * common back-to-back case pays no calendar traffic), a later wake
+ * files a calendar entry, kNoCycle means the component sleeps until a
+ * delivery sets its bit again. A woken component that was satisfied
+ * through another path first just no-op-ticks once — a tick at a cycle
+ * with nothing due was what the tick-every-cycle engine did anyway.
  */
 void
 System::tickShard(Shard &shard, obs::PhaseProfiler *prof)
 {
+    // Calendar wakes that matured in (last executed cycle, now_]
+    // become wake bits for the phases below.
+    shard.calendar.popDue(
+        now_, [&shard](WakeKind kind, std::uint32_t idx) {
+            const int i = static_cast<int>(idx);
+            switch (kind) {
+              case WakeKind::Mem: setWakeBit(shard.memWake, i); break;
+              case WakeKind::Dir: setWakeBit(shard.dirWake, i); break;
+              case WakeKind::L1: setWakeBit(shard.l1Wake, i); break;
+              case WakeKind::Core: setWakeBit(shard.coreWake, i); break;
+            }
+        });
+    if (prof)
+        prof->endPhase(obs::TickPhase::Sched);
+
     shard.bucket = 0;
     auto &queue = shard.localQueue;
     while (!queue.empty() && queue.front().due <= now_) {
@@ -709,48 +784,108 @@ System::tickShard(Shard &shard, obs::PhaseProfiler *prof)
         prof->endPhase(obs::TickPhase::LocalRoute);
 
     shard.bucket = 1;
-    forEachWake(shard.memWake, [this](int m) {
+    forEachWake(shard.memWake, [this, &shard](int m) {
+        ++shard.eventsDispatched;
         memctls_[m]->tick(now_);
-        return memctls_[m]->active();
+        const Cycle next = memctls_[m]->nextEventCycle(now_);
+        if (next == now_ + 1)
+            return true;
+        if (next != kNoCycle)
+            shard.calendar.schedule(next, WakeKind::Mem,
+                                    static_cast<std::uint32_t>(m));
+        return false;
     });
     if (prof)
         prof->endPhase(obs::TickPhase::Memory);
 
     shard.bucket = 2;
-    forEachWake(shard.dirWake, [this](int n) {
+    forEachWake(shard.dirWake, [this, &shard](int n) {
+        ++shard.eventsDispatched;
         dirs_[n]->tick(now_);
-        return dirs_[n]->active();
+        const Cycle next = dirs_[n]->nextEventCycle(now_);
+        if (next == now_ + 1)
+            return true;
+        if (next != kNoCycle)
+            shard.calendar.schedule(next, WakeKind::Dir,
+                                    static_cast<std::uint32_t>(n));
+        return false;
     });
     if (prof)
         prof->endPhase(obs::TickPhase::Directory);
 
     shard.bucket = 3;
-    forEachWake(shard.l1Wake, [this](int n) {
+    forEachWake(shard.l1Wake, [this, &shard](int n) {
+        ++shard.eventsDispatched;
         l1s_[n]->tick(now_);
-        return l1s_[n]->active();
+        const Cycle next = l1s_[n]->nextEventCycle(now_);
+        if (next == now_ + 1)
+            return true;
+        if (next != kNoCycle)
+            shard.calendar.schedule(next, WakeKind::L1,
+                                    static_cast<std::uint32_t>(n));
+        return false;
     });
     if (prof)
         prof->endPhase(obs::TickPhase::L1);
 
-    // Cores tick until done (order-preserving compaction drops the
-    // finished ones). A core drives its L1 synchronously, so the L1's
-    // clock must read now_ during the core's tick, and any work the
-    // access left behind queues the L1 for its next phase.
+    // Cores tick when woken (issue activity, a matured pause/compute
+    // span, or a delivery through the wake hook). A core drives its L1
+    // synchronously, so the L1's clock must read now_ during the
+    // core's tick, and any work the access left behind re-arms the L1
+    // for its next phase or a future cycle.
     shard.bucket = 4;
-    auto &runnable = shard.runnableCores;
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < runnable.size(); ++i) {
-        const int n = runnable[i];
+    forEachWake(shard.coreWake, [this, &shard](int n) {
+        cpu::Core &core = *cores_[n];
+        if (core.done())
+            return false; // stray wake (late control bit)
+        ++shard.eventsDispatched;
         l1s_[n]->syncClock(now_);
-        cores_[n]->tick(now_);
-        if (l1s_[n]->active())
+        core.tick(now_);
+        const Cycle l1n = l1s_[n]->nextEventCycle(now_);
+        if (l1n == now_ + 1) {
             setWakeBit(shard.l1Wake, n);
-        if (!cores_[n]->done())
-            runnable[keep++] = n;
-    }
-    runnable.resize(keep);
+        } else if (l1n != kNoCycle) {
+            shard.calendar.schedule(l1n, WakeKind::L1,
+                                    static_cast<std::uint32_t>(n));
+        }
+        if (core.done()) {
+            --shard.coresRunning;
+            return false;
+        }
+        const Cycle next = core.nextEventCycle(now_);
+        if (next == now_ + 1)
+            return true;
+        if (next != kNoCycle)
+            shard.calendar.schedule(next, WakeKind::Core,
+                                    static_cast<std::uint32_t>(n));
+        return false;
+    });
     if (prof)
         prof->endPhase(obs::TickPhase::Core);
+
+    shard.nextEvent = shardNextEvent(shard);
+}
+
+Cycle
+System::shardNextEvent(const Shard &shard) const
+{
+    std::uint64_t bits = 0;
+    for (const std::uint64_t w : shard.memWake)
+        bits |= w;
+    for (const std::uint64_t w : shard.dirWake)
+        bits |= w;
+    for (const std::uint64_t w : shard.l1Wake)
+        bits |= w;
+    for (const std::uint64_t w : shard.coreWake)
+        bits |= w;
+    Cycle next = bits ? now_ + 1 : kNoCycle;
+    // Local-hop dues are monotone (constant latency FIFO), so the
+    // front is the earliest.
+    if (!shard.localQueue.empty()) {
+        next = std::min(next,
+                        std::max(shard.localQueue.front().due, now_ + 1));
+    }
+    return std::min(next, shard.calendar.nextEventCycle());
 }
 
 /**
@@ -786,25 +921,32 @@ System::mergeStaged()
 }
 
 bool
-System::cycleEpilogue(obs::Watchdog &watchdog,
-                      const Cycle completion_mask,
-                      const Cycle progress_mask, bool &completed)
+System::cycleEpilogue(obs::Watchdog &watchdog, bool &completed)
 {
-    if (sampler_ && now_ >= sampler_->nextDue())
+    if (sampler_ && now_ >= sampler_->nextDue()) {
+        // Cores asleep across the sample point have unaccounted
+        // active/stall spans; fold them in so the sampled series match
+        // the tick-every-cycle engine's cycle for cycle.
+        for (auto &core : cores_)
+            core->syncStats(now_);
         sampler_->sample(now_);
+    }
 
-    if ((now_ & completion_mask) != 0)
+    if ((now_ & (kCompletionStride - 1)) != 0)
         return false;
 
     bool all_done = true;
     for (const auto &shard : shards_)
-        all_done &= shard.runnableCores.empty();
+        all_done &= shard.coresRunning == 0;
+    // The quiescent() scan is the authoritative completion check: it
+    // reads true component state, so stale wake bits or calendar
+    // entries can never hold completion open or declare it early.
     if (all_done && quiescent()) {
         completed = true;
         return true;
     }
 
-    if ((now_ & progress_mask) == 0) {
+    if ((now_ & (kProgressStride - 1)) == 0) {
         std::uint64_t instr = 0;
         for (const auto &core : cores_)
             instr += core->stats().instructions.value();
@@ -827,17 +969,46 @@ System::cycleEpilogue(obs::Watchdog &watchdog,
     return false;
 }
 
+Cycle
+System::nextEpoch() const
+{
+    Cycle next = config_.max_cycles;
+    bool all_done = true;
+    for (const Shard &shard : shards_) {
+        all_done &= shard.coresRunning == 0;
+        next = std::min(next, shard.nextEvent);
+    }
+    next = std::min(next, network_->nextEventCycle(now_));
+    if (sampler_)
+        next = std::min(next, std::max(sampler_->nextDue(), now_ + 1));
+    if (checkpointEvery_ != 0) {
+        next = std::min(
+            next, now_ + checkpointEvery_ - now_ % checkpointEvery_);
+    }
+    next = std::min(next, (now_ | (kProgressStride - 1)) + 1);
+    if (all_done)
+        next = std::min(next, (now_ | (kCompletionStride - 1)) + 1);
+    return std::max(next, now_ + 1);
+}
+
 bool
 System::runSerial(obs::Watchdog &watchdog)
 {
     bool completed = false;
-    const Cycle completion_mask = config_.completion_check_stride - 1;
-    const Cycle progress_mask = config_.progress_check_stride - 1;
 
-    for (now_ = startCycle_; now_ < config_.max_cycles; ++now_) {
+    now_ = startCycle_;
+    while (now_ < config_.max_cycles) {
         if (checkpointEvery_ != 0 && now_ != startCycle_
-            && now_ % checkpointEvery_ == 0)
+            && now_ % checkpointEvery_ == 0) {
+            // Canonical capture: core clocks/stats synced through the
+            // previous cycle, exactly as the tick-every-cycle engine
+            // left them at the top of a cycle (and as run() leaves
+            // them for a direct end-of-run save). Exact for the
+            // continuing run — catch-up spans compose.
+            for (auto &core : cores_)
+                core->syncStats(now_ - 1);
             saveCheckpoint(checkpointPath_);
+        }
 
         // Self-profiling brackets each phase with a clock read on
         // sampled cycles only; `prof` is hoisted so unsampled cycles
@@ -851,10 +1022,17 @@ System::runSerial(obs::Watchdog &watchdog)
             profiler_.endPhase(obs::TickPhase::Network);
 
         tickShard(shards_[0], prof ? &profiler_ : nullptr);
+        ++schedExecuted_;
 
-        if (cycleEpilogue(watchdog, completion_mask, progress_mask,
-                          completed))
+        const Cycle next = nextEpoch();
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Sched);
+
+        if (cycleEpilogue(watchdog, completed))
             break;
+
+        schedSkipped_ += next - now_ - 1;
+        now_ = next;
     }
     return completed;
 }
@@ -893,16 +1071,19 @@ System::runParallel(obs::Watchdog &watchdog)
     }
 
     bool completed = false;
-    const Cycle completion_mask = config_.completion_check_stride - 1;
-    const Cycle progress_mask = config_.progress_check_stride - 1;
 
-    for (now_ = startCycle_; now_ < config_.max_cycles; ++now_) {
+    now_ = startCycle_;
+    while (now_ < config_.max_cycles) {
         // Checkpoints are cut at the top of the cycle, while the
         // workers are parked on the fork barrier — the main thread has
         // exclusive access to all simulation state here.
         if (checkpointEvery_ != 0 && now_ != startCycle_
-            && now_ % checkpointEvery_ == 0)
+            && now_ % checkpointEvery_ == 0) {
+            // Same canonical capture as the serial loop.
+            for (auto &core : cores_)
+                core->syncStats(now_ - 1);
             saveCheckpoint(checkpointPath_);
+        }
 
         const bool prof = profiler_.due(now_);
         if (prof)
@@ -925,10 +1106,20 @@ System::runParallel(obs::Watchdog &watchdog)
         mergeStaged();
         if (prof)
             profiler_.endPhase(obs::TickPhase::LocalRoute);
+        ++schedExecuted_;
 
-        if (cycleEpilogue(watchdog, completion_mask, progress_mask,
-                          completed))
+        // The epoch reads each shard's nextEvent (published before the
+        // join barrier) and the network's — after the merge, so staged
+        // sends are visible as pending network work.
+        const Cycle next = nextEpoch();
+        if (prof)
+            profiler_.endPhase(obs::TickPhase::Sched);
+
+        if (cycleEpilogue(watchdog, completed))
             break;
+
+        schedSkipped_ += next - now_ - 1;
+        now_ = next;
     }
 
     stop.store(true, std::memory_order_relaxed);

@@ -3,8 +3,10 @@
  * Top-level chip-multiprocessor assembly: N cores with private L1s, a
  * distributed shared L2 with directory slices (one per tile), memory
  * controllers, and one of five interconnects (mesh baseline, L0 / Lr1 /
- * Lr2 ideals, or the free-space optical interconnect), all advanced in
- * lock-step one core cycle at a time.
+ * Lr2 ideals, or the free-space optical interconnect), advanced in
+ * lock-step over the populated cycles of a per-shard event calendar:
+ * the run loop executes a cycle only when some component has work due,
+ * and jumps straight across idle stretches (DESIGN.md §5e).
  *
  * This is the library's main entry point: configure a SystemConfig,
  * pick an application profile (or bind custom instruction streams),
@@ -37,6 +39,7 @@
 #include "obs/sampler.hh"
 #include "obs/watchdog.hh"
 #include "obs/stat_registry.hh"
+#include "sim/calendar.hh"
 #include "sim/energy_model.hh"
 #include "workload/apps.hh"
 
@@ -102,16 +105,14 @@ struct SystemConfig
     int threads = 1;
 
     /**
-     * run() checks for completion (all cores done + system drained)
-     * every completion_check_stride cycles and for forward progress
-     * every progress_check_stride cycles; a run aborts after
-     * progress_stall_limit cycles without a retired instruction. Both
-     * strides must be powers of two (the loop masks with stride - 1).
-     * Larger strides amortize the whole-system scans that active-set
-     * scheduling otherwise makes the dominant idle-phase cost.
+     * A run aborts after progress_stall_limit cycles without a retired
+     * instruction. The completion and progress check cadences are
+     * internal constants of the event-calendar engine (32 and 16384
+     * cycles; see system.cc) — they are pure check alignments with no
+     * effect on results, so they are no longer configuration. Neither
+     * was ever part of the snapshot config fingerprint, so checkpoints
+     * written before this change restore unchanged.
      */
-    Cycle completion_check_stride = 32;
-    Cycle progress_check_stride = 16384;
     Cycle progress_stall_limit = 2'000'000;
 
     /**
@@ -254,7 +255,10 @@ class System
      * component. Capture point is the top of a cycle (before the
      * network tick), where the threaded engine's staging state is
      * empty, so the snapshot is thread-count independent: identical
-     * bytes at any --threads.
+     * bytes at any --threads. The event calendar and wake bitmaps are
+     * never serialized — wake cycles are pure functions of component
+     * state, so restore re-seeds them (initShardRuntime) and the
+     * resumed run stays bit-identical to the uninterrupted one.
      */
     void saveSnapshot(snapshot::SnapshotWriter &snap) const;
 
@@ -341,7 +345,15 @@ class System
         std::vector<std::uint64_t> memWake;
         std::vector<std::uint64_t> dirWake;
         std::vector<std::uint64_t> l1Wake;
-        std::vector<int> runnableCores; //!< not-done cores, ascending
+        std::vector<std::uint64_t> coreWake;
+        /** Future wakes for this shard's components; written only by
+         *  the owning shard (or the main thread while workers park). */
+        EventCalendar calendar;
+        int coresRunning = 0; //!< not-done cores in the tile range
+        /** Shard-local next event cycle, computed at the end of
+         *  tickShard (min over wake bits, local queue, calendar). */
+        Cycle nextEvent = 0;
+        std::uint64_t eventsDispatched = 0; //!< host.sched telemetry
         std::deque<LocalMsg> localQueue;
         std::array<std::vector<StagedSend>, kNumSendBuckets> staged;
         std::vector<StagedBit> stagedBits;
@@ -354,14 +366,26 @@ class System
     void tickShard(Shard &shard, obs::PhaseProfiler *prof);
     /** Replay staged sends + control bits in canonical serial order. */
     void mergeStaged();
-    /** Reset wake bits, runnable cores and staging state for run(). */
+    /** Reset wake bits, calendars and staging state for run(). */
     void initShardRuntime();
     bool runSerial(obs::Watchdog &watchdog);
     bool runParallel(obs::Watchdog &watchdog);
     /** Sampler + completion + watchdog tail of one cycle; true = stop
      *  the run loop. Sets @p completed on clean completion. */
-    bool cycleEpilogue(obs::Watchdog &watchdog, Cycle completion_mask,
-                       Cycle progress_mask, bool &completed);
+    bool cycleEpilogue(obs::Watchdog &watchdog, bool &completed);
+    /** Shard-local next event: wake bits due now+1, else the earliest
+     *  of the local queue front and the shard calendar. */
+    Cycle shardNextEvent(const Shard &shard) const;
+    /**
+     * The next cycle the run loop must execute: the min over every
+     * shard's nextEvent, the interconnect's nextEventCycle(), the
+     * sampler's next due epoch, the next periodic-checkpoint multiple,
+     * the next progress-check multiple (always — the watchdog must
+     * observe the same cadence the tick-every-cycle engine gave it)
+     * and, once every core is done, the next completion-check
+     * multiple. Clamped to [now_ + 1, max_cycles].
+     */
+    Cycle nextEpoch() const;
     /**
      * With fault injection active: write the post-mortem, record the
      * diagnosis in faultDiagnosis_ and return (the run ends cleanly).
@@ -409,6 +433,9 @@ class System
      *  stages cross-node sends instead of calling the network. */
     bool staging_ = false;
     Cycle now_ = 0;
+    // host.sched.* telemetry (main-thread only; not simulation state).
+    std::uint64_t schedExecuted_ = 0; //!< cycles the loop executed
+    std::uint64_t schedSkipped_ = 0;  //!< cycles the calendar skipped
 
     // Checkpoint/restore runtime state. startCycle_ is where run()'s
     // loop begins (non-zero after a restore); restoredRun_ keeps

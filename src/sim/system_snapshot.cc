@@ -6,10 +6,13 @@
  * restored state.
  *
  * Capture point is the top of a cycle, before the network tick: the
- * threaded engine's staging buffers are empty there and the wake
- * bitmaps / runnable-core lists are pure functions of component state
- * (bit set <=> active()), so neither is serialized and snapshots are
- * bit-identical at any --threads.
+ * threaded engine's staging buffers are empty there, and the wake
+ * bitmaps and event calendars are memoization of per-component wake
+ * cycles that are pure functions of component state
+ * (Component::nextEventCycle()), so none of them are serialized and
+ * snapshots are bit-identical at any --threads. Restore re-seeds the
+ * scheduler by waking every component with pending work once; the
+ * first tick re-arms exact wakes.
  *
  * The one piece of state that *is* partitioned by thread count — the
  * per-shard local-hop queues — is serialized in a canonical order that

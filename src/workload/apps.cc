@@ -448,11 +448,30 @@ paperApps()
 }
 
 AppProfile
+idleHeavyProfile()
+{
+    // mem_ratio 0.005 -> mean compute gap of 199 cycles between
+    // memory ops (most draws hit the 200-cycle cap), so the cores sit
+    // in long busyUntil_ stretches the event calendar skips over
+    // wholesale. No locks/barriers: the point is quiescent-system
+    // throughput, not contention. The larger instruction budget keeps
+    // the timed run long enough that System construction does not
+    // dominate the wall time.
+    AppProfile profile =
+        make("idle", 0.005, 0.25, 0.25, 104, 2048, 0.92, 0.0015,
+             Sharing::Uniform, 0, 0);
+    profile.instructions = 320000;
+    return profile;
+}
+
+AppProfile
 appByName(const std::string &name)
 {
     for (const auto &app : paperApps())
         if (app.name == name)
             return app;
+    if (name == "idle")
+        return idleHeavyProfile();
     fatal("unknown application '%s'", name.c_str());
 }
 

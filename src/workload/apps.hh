@@ -61,7 +61,17 @@ struct AppProfile
 /** The 16 applications of the paper's evaluation (Section 6). */
 std::vector<AppProfile> paperApps();
 
-/** Look up a profile by name; fatal() when unknown. */
+/**
+ * Compute-bound stress profile ("idle"): long compute bursts between
+ * rare memory operations, so almost every simulated cycle is
+ * calendar-skippable. Exercises the scheduler's skip path in the perf
+ * harness; deliberately NOT part of paperApps() so the paper-figure
+ * sweeps stay the 16-app matrix.
+ */
+AppProfile idleHeavyProfile();
+
+/** Look up a profile by name (paper apps + "idle"); fatal() when
+ *  unknown. */
 AppProfile appByName(const std::string &name);
 
 /**

@@ -129,23 +129,28 @@ cmake --build "$sanbuild" -j "$(nproc 2>/dev/null || echo 2)"
 ctest --test-dir "$sanbuild" --output-on-failure
 
 echo "== sanitizer leg (TSan, threaded tick engine) =="
-# The determinism suite again under ThreadSanitizer, which exercises
-# the intra-run parallel tick engine (shard workers, staged-send
-# merge, wake bitmaps) at threads={2,4} x jobs={1,4}. Scoped to that
-# suite: TSan slows runs ~10x and the threading surface is exactly
-# what these tests drive.
+# The determinism and scheduler suites again under ThreadSanitizer,
+# which exercises the intra-run parallel tick engine (shard workers,
+# staged-send merge, wake bitmaps) at threads={2,4} x jobs={1,4} and
+# the per-shard event calendar at threads=4 (cross-shard wakes on
+# epoch boundaries, calendar rebuild on snapshot restore). Scoped to
+# those suites: TSan slows runs ~10x and the threading surface is
+# exactly what these tests drive.
 tsanbuild="$build-tsan"
 cmake -B "$tsanbuild" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DFSOI_SANITIZE=thread
 cmake --build "$tsanbuild" -j "$(nproc 2>/dev/null || echo 2)" \
-    --target test_determinism
-ctest --test-dir "$tsanbuild" -R Determinism --output-on-failure
+    --target test_determinism test_scheduler
+ctest --test-dir "$tsanbuild" -R "Determinism|Scheduler|Calendar" \
+    --output-on-failure
 
 echo "== perf gate =="
 # Warmup pass (discarded): absorbs post-build CPU-quota throttling and
 # cold caches so the gated measurement reflects steady state. The
 # gated pass takes best-of-5 per matrix point, interleaved to ride out
-# transient host load.
+# transient host load. The matrix includes the idle-heavy point
+# (fsoi.idle), so the event calendar's skip-path throughput is gated
+# alongside the busy-matrix cycles/sec.
 "$build/bench/perf_harness" --quick --reps=1 > /dev/null
 "$build/bench/perf_harness" --quick --reps=5 \
     --check="$repo/BENCH_perf.json" --tolerance=0.10
